@@ -1,0 +1,32 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+All benchmarks share one :class:`ExperimentRunner` with an on-disk cache
+next to the repository root, so a full ``pytest benchmarks/`` pass
+simulates each (app, config, technique) combination exactly once and
+re-runs are instant.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner
+
+_CACHE = os.path.join(os.path.dirname(__file__), os.pardir, ".bench_cache.json")
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(cache_path=os.path.abspath(_CACHE))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment driver with a single timed round.
+
+    The interesting output is the experiment's rows (asserted by each
+    bench); the timing records how long regenerating the figure takes.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

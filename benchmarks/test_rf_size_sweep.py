@@ -1,0 +1,60 @@
+"""Extension — register-file size sweep (generalizing §IV-B).
+
+Not a paper figure: the paper evaluates exactly one shrunken file
+(half).  This bench sweeps the file from 100% down to 37.5% and shows
+the claim behind "approximately the same performance with a smaller
+register file": RegMutex's slowdown curve stays well under the bare
+curve, and it keeps kernels placeable at sizes where they still fit.
+"""
+
+from repro.analysis.sweeps import register_file_size_sweep
+from repro.harness.reporting import format_table, percent
+from benchmarks.conftest import run_once
+
+APPS = ("Gaussian", "SPMV", "MonteCarlo")
+
+
+def test_rf_size_sweep(benchmark, runner):
+    def run():
+        return {app: register_file_size_sweep(runner, app) for app in APPS}
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    for app, points in results.items():
+        for p in points:
+            rows.append([
+                app, f"{p.scale:.0%}", p.registers_per_sm,
+                percent(p.increase_baseline) if p.fits_baseline else "n/a",
+                percent(p.increase_regmutex) if p.fits_regmutex else "n/a",
+                f"{p.regmutex_recovery:.0%}" if p.fits_baseline and p.fits_regmutex else "-",
+            ])
+    print("\n" + format_table(
+        ["app", "RF scale", "regs/SM", "slowdown bare", "slowdown RegMutex",
+         "recovered"],
+        rows,
+        title="Extension — register file size sweep",
+    ))
+
+    for app, points in results.items():
+        full = points[0]
+        assert full.scale == 1.0
+        # At full size both run and neither is slower than itself.
+        assert abs(full.increase_baseline) < 0.02, app
+        for p in points[1:]:
+            if not (p.fits_baseline and p.fits_regmutex):
+                continue
+            # Smaller file never helps the baseline...
+            assert p.increase_baseline >= -0.02, (app, p.scale)
+            # ...and RegMutex never does meaningfully worse than bare.
+            assert p.increase_regmutex <= p.increase_baseline + 0.05, (
+                app, p.scale
+            )
+        # Somewhere in the sweep RegMutex recovers a substantial chunk.
+        best = max(
+            (p.regmutex_recovery for p in points[1:]
+             if p.fits_baseline and p.fits_regmutex and
+             p.increase_baseline > 0.03),
+            default=0.0,
+        )
+        assert best > 0.3, app

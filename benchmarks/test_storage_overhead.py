@@ -1,0 +1,30 @@
+"""§III-B1 / §IV-C — hardware storage overhead comparison.
+
+Paper numbers: RegMutex adds 384 bits per SM; RFV needs 30,240 bits of
+renaming table plus 1,024 availability bits (>81x more); the paired
+specialization keeps only an Nw/2-bit bitmask.
+"""
+
+from repro.arch.config import GTX480
+from repro.harness.experiments import storage_overhead_comparison
+from repro.harness.reporting import format_table
+from benchmarks.conftest import run_once
+
+
+def test_storage_overhead(benchmark):
+    budgets = run_once(benchmark, storage_overhead_comparison, GTX480)
+
+    print("\n" + format_table(
+        ["technique", "structure", "bits"],
+        [[name, part, bits]
+         for name, budget in budgets.items()
+         for part, bits in budget.parts] +
+        [[name, "TOTAL", budget.total_bits] for name, budget in budgets.items()],
+        title="Added per-SM storage",
+    ))
+
+    assert budgets["regmutex"].total_bits == 384
+    assert budgets["rfv"].total_bits == 30240 + 1024
+    assert budgets["regmutex"].ratio_vs(budgets["rfv"]) > 81
+    assert budgets["regmutex-paired"].total_bits == 24
+    assert budgets["regmutex-paired"].ratio_vs(budgets["regmutex"]) >= 16

@@ -1,0 +1,39 @@
+"""Scenario: profile a kernel's register liveness (the paper's Figure 1).
+
+Traces one thread of each requested application through its dynamic
+execution path and prints the percentage of allocated registers that are
+actually live, as an ASCII sparkline — the underutilization that
+motivates RegMutex.
+
+Run::
+
+    python examples/liveness_profile.py [app ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import FIGURE1_APPS, build_app_kernel, dynamic_pressure_trace, get_app
+from repro.harness.reporting import format_percent_series
+
+
+def main(apps: list[str]) -> None:
+    print("Live registers as a fraction of the allocation, one thread, "
+          "over dynamic instructions:\n")
+    for name in apps:
+        spec = get_app(name)
+        trace = dynamic_pressure_trace(build_app_kernel(spec))
+        print(format_percent_series(name, trace.utilization))
+        print(f"{'':<16}  {trace.instructions_executed} dynamic instructions, "
+              f"mean utilization {trace.mean_utilization():.0%}, "
+              f"at-peak only {trace.fraction_fully_utilized():.0%} of the time")
+        print()
+    print("Most of each bar sits well below 100%: statically reserved "
+          "registers are idle for most of the execution — the gap "
+          "RegMutex's time-sharing reclaims.")
+
+
+if __name__ == "__main__":
+    chosen = sys.argv[1:] or list(FIGURE1_APPS)
+    main(chosen)

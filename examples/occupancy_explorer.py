@@ -1,0 +1,84 @@
+"""Scenario: explore how the |Bs|/|Es| split moves occupancy and the SRP.
+
+Pure occupancy math — no simulation — so it runs instantly.  For a
+chosen application (or custom register count), prints one row per
+candidate |Es|: the base set, CTAs and warps resident, the SRP section
+count, and which resource binds.  This is the §III-A2 worked example as
+an interactive tool.
+
+Run::
+
+    python examples/occupancy_explorer.py [app] [--arch volta|kepler|half]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    GTX480,
+    KEPLER_LIKE,
+    VOLTA_LIKE,
+    build_app_kernel,
+    get_app,
+    theoretical_occupancy,
+)
+from repro.compiler.es_selection import candidate_es_sizes, select_extended_set_size
+from repro.harness.reporting import format_table
+from repro.regmutex.issue_logic import srp_section_count
+
+ARCHS = {
+    "fermi": GTX480,
+    "half": GTX480.with_half_register_file(),
+    "kepler": KEPLER_LIKE,
+    "volta": VOLTA_LIKE,
+}
+
+
+def main(app_name: str, arch_name: str) -> None:
+    config = ARCHS[arch_name]
+    spec = get_app(app_name)
+    kernel = build_app_kernel(spec)
+    md = kernel.metadata
+    rounded = spec.rounded_regs
+
+    base = theoretical_occupancy(config, md)
+    print(f"{app_name} on {config.name}: {spec.regs} regs/thread "
+          f"(rounded {rounded}), {md.threads_per_cta} threads/CTA")
+    print(f"baseline: {base.ctas_per_sm} CTAs = {base.resident_warps} warps "
+          f"({base.occupancy:.0%}), limited by {base.limiting_resource}\n")
+
+    rows = []
+    for es in candidate_es_sizes(rounded):
+        bs = rounded - es
+        occ = theoretical_occupancy(
+            config, md, regs_per_thread=bs, granularity=1
+        )
+        sections = srp_section_count(config, occ.resident_warps, bs, es)
+        rows.append([
+            es, bs, occ.ctas_per_sm, occ.resident_warps,
+            f"{occ.occupancy:.0%}", sections, occ.limiting_resource,
+        ])
+    print(format_table(
+        ["|Es|", "|Bs|", "CTAs/SM", "warps", "occupancy", "SRP sections",
+         "limited by"],
+        rows,
+        title="candidate splits",
+    ))
+
+    sel = select_extended_set_size(kernel, config)
+    if sel.uses_regmutex:
+        print(f"\nheuristic pick: |Es|={sel.extended_set_size} — {sel.reason}")
+    else:
+        print(f"\nheuristic declines: {sel.reason}")
+    print(f"Table I split for this app: |Es|={spec.expected_es} "
+          f"(|Bs|={spec.expected_bs})")
+
+
+if __name__ == "__main__":
+    apps = [a for a in sys.argv[1:] if not a.startswith("--")]
+    arch = "fermi"
+    for i, a in enumerate(sys.argv):
+        if a == "--arch" and i + 1 < len(sys.argv):
+            arch = sys.argv[i + 1]
+    main(apps[0] if apps else "BFS", arch)

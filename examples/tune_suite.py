@@ -1,0 +1,107 @@
+"""Launch-geometry search for the Table I workload suite.
+
+The paper gives each application's per-thread register count and the
+|Bs| its heuristic computed, but not the launch geometry (threads/CTA,
+shared memory).  This script searches that geometry so our occupancy
+pipeline reproduces Table I exactly:
+
+* occupancy-limited apps must be register-limited on the full GTX480
+  register file and the heuristic must pick |Es| = rounded(R) - |Bs|;
+* register-relaxed apps must NOT be register-limited on the full file,
+  but must be register-limited on the halved file, where the heuristic
+  must pick the same |Es|.
+
+Run it after changing the suite or the heuristic::
+
+    python examples/tune_suite.py
+
+It prints one row per application: the geometry already in the suite,
+whether it reproduces Table I, and (if not) the first geometry found
+that does.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import GTX480, GTX480_HALF_RF
+from repro.arch.occupancy import occupancy_limited_by_registers
+from repro.compiler.es_selection import select_extended_set_size
+from repro.workloads.suite import APPLICATIONS, AppSpec, build_app_kernel
+
+import dataclasses
+
+THREAD_CHOICES = (64, 96, 128, 160, 192, 224, 256, 288, 320, 384, 448, 512)
+SMEM_CHOICES = (0, 2048, 4096, 6144, 8192, 10240, 12288, 16384)
+
+
+def check(spec: AppSpec) -> tuple[bool, str]:
+    """Does this spec reproduce Table I?  Returns (ok, detail)."""
+    kernel = build_app_kernel(spec)
+    md = kernel.metadata
+    limited_full = occupancy_limited_by_registers(GTX480, md)
+    limited_half = occupancy_limited_by_registers(GTX480_HALF_RF, md)
+    if spec.group == "occupancy-limited":
+        if not limited_full:
+            return False, "not register-limited on full RF"
+        sel = select_extended_set_size(kernel, GTX480)
+    else:
+        if limited_full:
+            return False, "register-limited on full RF (should not be)"
+        if not limited_half:
+            return False, "not register-limited on half RF"
+        sel = select_extended_set_size(kernel, GTX480_HALF_RF)
+    if not spec.heuristic_matches:
+        return True, (
+            f"group constraints hold; |Bs| forced to {spec.expected_bs} "
+            f"(heuristic would pick |Es|={sel.extended_set_size})"
+        )
+    if sel.extended_set_size != spec.expected_es:
+        return False, (
+            f"heuristic picked |Es|={sel.extended_set_size} "
+            f"(|Bs|={sel.base_set_size}), want |Es|={spec.expected_es} "
+            f"(|Bs|={spec.expected_bs}) [{sel.reason}]"
+        )
+    return True, f"|Bs|={sel.base_set_size} sections={sel.srp_sections}"
+
+
+def search(spec: AppSpec) -> AppSpec | None:
+    """First geometry that reproduces Table I, or None."""
+    for threads in THREAD_CHOICES:
+        for smem in SMEM_CHOICES:
+            candidate = dataclasses.replace(
+                spec, threads_per_cta=threads, shared_mem_per_cta=smem
+            )
+            ok, _ = check(candidate)
+            if ok:
+                return candidate
+    return None
+
+
+def main() -> None:
+    print(f"{'app':<16} {'group':<18} {'thr':>4} {'smem':>6}  status")
+    failures = 0
+    for spec in APPLICATIONS.values():
+        ok, detail = check(spec)
+        line = (
+            f"{spec.name:<16} {spec.group:<18} "
+            f"{spec.threads_per_cta:>4} {spec.shared_mem_per_cta:>6}  "
+        )
+        if ok:
+            print(line + f"OK  {detail}")
+            continue
+        failures += 1
+        print(line + f"MISMATCH: {detail}")
+        found = search(spec)
+        if found is None:
+            print(f"{'':<16} -> no geometry in the search grid reproduces Table I")
+        else:
+            print(
+                f"{'':<16} -> use threads={found.threads_per_cta} "
+                f"smem={found.shared_mem_per_cta}"
+            )
+    if failures:
+        raise SystemExit(f"{failures} application(s) need geometry updates")
+    print("\nAll 16 applications reproduce Table I.")
+
+
+if __name__ == "__main__":
+    main()

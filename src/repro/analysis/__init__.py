@@ -1,0 +1,14 @@
+"""Post-run analysis tools: bottleneck attribution and design sweeps."""
+
+from repro.analysis.bottleneck import BottleneckReport, attribute_bottlenecks
+from repro.analysis.sweeps import (
+    RfSizePoint,
+    register_file_size_sweep,
+)
+
+__all__ = [
+    "BottleneckReport",
+    "attribute_bottlenecks",
+    "RfSizePoint",
+    "register_file_size_sweep",
+]

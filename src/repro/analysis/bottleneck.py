@@ -1,0 +1,99 @@
+"""Bottleneck attribution: where did the scheduler-idle cycles go?
+
+The SM counters already split idle scheduler cycles into memory,
+scoreboard, barrier, and acquire stalls; this module turns one or two
+:class:`~repro.sim.stats.SmStats` into a readable report, including the
+before/after comparison used when explaining why a technique won or
+lost (e.g. RegMutex trades memory stalls for acquire stalls on the
+section-starved apps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import SmStats
+
+_CATEGORIES = ("memory", "scoreboard", "barrier", "acquire")
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Idle-cycle attribution for one SM run."""
+
+    cycles: int
+    issue_slots: int
+    issued: int
+    stalls: dict[str, int]
+
+    @property
+    def idle_slots(self) -> int:
+        return sum(self.stalls.values())
+
+    @property
+    def issue_utilization(self) -> float:
+        """Issued instructions per issue slot (the SM's achieved IPC over
+        its peak IPC)."""
+        if self.issue_slots == 0:
+            return 0.0
+        return self.issued / self.issue_slots
+
+    def fraction(self, category: str) -> float:
+        """This stall category's share of all idle slots."""
+        if category not in _CATEGORIES:
+            raise ValueError(
+                f"unknown category {category!r}; one of {_CATEGORIES}"
+            )
+        idle = self.idle_slots
+        return self.stalls[category] / idle if idle else 0.0
+
+    def dominant(self) -> str:
+        """The stall category with the most idle slots ('none' if the SM
+        never idled)."""
+        if not self.idle_slots:
+            return "none"
+        return max(self.stalls, key=lambda k: self.stalls[k])
+
+    def format(self) -> str:
+        lines = [
+            f"cycles: {self.cycles}, issue utilization "
+            f"{self.issue_utilization:.0%}"
+        ]
+        for cat in _CATEGORIES:
+            lines.append(
+                f"  {cat:<11} {self.stalls[cat]:>10} idle slots "
+                f"({self.fraction(cat):.0%})"
+            )
+        return "\n".join(lines)
+
+
+def attribute_bottlenecks(stats: SmStats, num_schedulers: int = 2) -> BottleneckReport:
+    """Build a report from one SM's counters."""
+    return BottleneckReport(
+        cycles=stats.cycles,
+        issue_slots=stats.cycles * num_schedulers,
+        issued=stats.instructions_issued,
+        stalls={
+            "memory": stats.stall_memory,
+            "scoreboard": stats.stall_scoreboard,
+            "barrier": stats.stall_barrier,
+            "acquire": stats.stall_acquire,
+        },
+    )
+
+
+def compare(before: BottleneckReport, after: BottleneckReport) -> str:
+    """A two-column diff of stall shares, for technique A/B explanations."""
+    lines = [
+        f"{'category':<12} {'before':>10} {'after':>10}",
+    ]
+    for cat in _CATEGORIES:
+        lines.append(
+            f"{cat:<12} {before.fraction(cat):>9.0%} "
+            f"{after.fraction(cat):>9.0%}"
+        )
+    lines.append(
+        f"{'issue util':<12} {before.issue_utilization:>9.0%} "
+        f"{after.issue_utilization:>9.0%}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Design-space sweeps built on the experiment runner.
+
+The headline sweep generalizes the paper's §IV-B experiment: instead of
+one halved register file, sweep the file size and measure how much
+performance each technique retains — "how small can the register file
+get before the kernel falls off a cliff, and how far does RegMutex push
+that cliff?".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.arch.config import GpuConfig, GTX480
+from repro.harness.runner import ExperimentRunner
+from repro.regmutex.issue_logic import RegMutexTechnique
+from repro.sim.technique import BaselineTechnique
+from repro.workloads.suite import build_app_kernel, get_app
+
+DEFAULT_SCALES = (1.0, 0.75, 0.5, 0.375)
+
+
+@dataclass(frozen=True)
+class RfSizePoint:
+    """One point of the register-file size sweep."""
+
+    app: str
+    scale: float
+    registers_per_sm: int
+    increase_baseline: float      # vs the full-size file, no technique
+    increase_regmutex: float      # vs the full-size file, with RegMutex
+    fits_baseline: bool           # could the kernel be placed at all?
+    fits_regmutex: bool
+
+    @property
+    def regmutex_recovery(self) -> float:
+        """Fraction of the bare slowdown RegMutex recovers at this point."""
+        if self.increase_baseline <= 0:
+            return 0.0
+        return 1.0 - self.increase_regmutex / self.increase_baseline
+
+
+def _scaled(config: GpuConfig, scale: float) -> GpuConfig:
+    regs = int(config.registers_per_sm * scale)
+    # Keep warp-size alignment so per-warp register packs stay whole.
+    regs -= regs % config.warp_size
+    return dataclasses.replace(
+        config, name=f"{config.name}-rf{scale:g}", registers_per_sm=regs
+    )
+
+
+def register_file_size_sweep(
+    runner: ExperimentRunner,
+    app: str,
+    config: GpuConfig = GTX480,
+    scales: tuple[float, ...] = DEFAULT_SCALES,
+) -> list[RfSizePoint]:
+    """Sweep the register file size for one application.
+
+    The kernel may stop fitting at small scales (no CTA placeable);
+    those points are reported with ``fits_* = False`` and an infinite
+    increase is avoided by carrying ``float('inf')``.
+    """
+    spec = get_app(app)
+    kernel = build_app_kernel(spec)
+    full = runner.run(kernel, config, BaselineTechnique())
+
+    points: list[RfSizePoint] = []
+    for scale in scales:
+        scaled = _scaled(config, scale)
+
+        def _try(technique):
+            try:
+                record = runner.run(kernel, scaled, technique)
+                return record.increase_vs(full), True
+            except RuntimeError:
+                return float("inf"), False
+
+        inc_base, fits_base = _try(BaselineTechnique())
+        inc_rm, fits_rm = _try(
+            RegMutexTechnique(extended_set_size=spec.expected_es)
+        )
+        points.append(RfSizePoint(
+            app=app,
+            scale=scale,
+            registers_per_sm=scaled.registers_per_sm,
+            increase_baseline=inc_base,
+            increase_regmutex=inc_rm,
+            fits_baseline=fits_base,
+            fits_regmutex=fits_rm,
+        ))
+    return points

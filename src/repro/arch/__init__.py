@@ -1,0 +1,20 @@
+"""GPU architecture model: device configuration and occupancy math."""
+
+from repro.arch.config import GpuConfig, GTX480, GTX480_HALF_RF, fermi_like
+from repro.arch.occupancy import (
+    OccupancyResult,
+    theoretical_occupancy,
+    occupancy_limited_by_registers,
+    round_regs_to_granularity,
+)
+
+__all__ = [
+    "GpuConfig",
+    "GTX480",
+    "GTX480_HALF_RF",
+    "fermi_like",
+    "OccupancyResult",
+    "theoretical_occupancy",
+    "occupancy_limited_by_registers",
+    "round_regs_to_granularity",
+]

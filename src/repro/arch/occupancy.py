@@ -1,0 +1,135 @@
+"""Theoretical occupancy calculator.
+
+Occupancy = resident warps / max warps per SM, where resident warps are
+limited by whichever of four resources runs out first when packing CTAs:
+thread slots, CTA slots, shared memory, and registers.  This mirrors the
+CUDA occupancy calculator's Fermi rules and is the quantity plotted in
+the paper's Figures 7, 8, 11(a), and 12.
+
+RegMutex changes the register term: a kernel compiled with base set
+``|Bs|`` occupies only ``|Bs|`` exclusive registers per thread, while the
+SRP is carved out of the register file *before* CTA packing.  The SRP
+holds ``srp_sections`` extended sets of ``|Es|`` registers per thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import GpuConfig
+from repro.isa.kernel import KernelMetadata
+
+
+def round_regs_to_granularity(regs: int, granularity: int) -> int:
+    """Round a per-thread register count up to the allocation granularity.
+
+    Table I's parenthesised numbers: e.g. 21 -> 24 at granularity 4.
+    """
+    if regs <= 0:
+        raise ValueError("register count must be positive")
+    return ((regs + granularity - 1) // granularity) * granularity
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy outcome plus the limiting-resource breakdown."""
+
+    ctas_per_sm: int
+    warps_per_cta: int
+    limiting_resource: str
+    max_warps: int
+    # Per-resource CTA caps, for diagnostics and tests.
+    cap_threads: int
+    cap_cta_slots: int
+    cap_shared_mem: int
+    cap_registers: int
+
+    @property
+    def resident_warps(self) -> int:
+        """Warps resident on the SM at this CTA count."""
+        return self.ctas_per_sm * self.warps_per_cta
+
+    @property
+    def occupancy(self) -> float:
+        """Resident warps over the SM's warp-slot ceiling (0..1)."""
+        return self.resident_warps / self.max_warps if self.max_warps else 0.0
+
+
+def _warps_per_cta(threads_per_cta: int, warp_size: int) -> int:
+    return (threads_per_cta + warp_size - 1) // warp_size
+
+
+def theoretical_occupancy(
+    config: GpuConfig,
+    metadata: KernelMetadata,
+    regs_per_thread: int | None = None,
+    reserved_registers: int = 0,
+    granularity: int | None = None,
+) -> OccupancyResult:
+    """Compute theoretical occupancy for a kernel on a device.
+
+    ``regs_per_thread`` overrides the metadata's declared count (the
+    RegMutex path passes ``|Bs|`` here).  ``reserved_registers`` is
+    removed from the register file before packing (the SRP carve-out).
+    ``granularity`` overrides the device's register rounding — RegMutex
+    packs base sets at granularity 1, matching the paper's §III-A2
+    worked example where ``|Bs|=18`` yields 26 SRP sections.
+    """
+    regs = regs_per_thread if regs_per_thread is not None else metadata.regs_per_thread
+    gran = granularity if granularity is not None else config.register_allocation_granularity
+    regs = round_regs_to_granularity(regs, gran)
+    warps_per_cta = _warps_per_cta(metadata.threads_per_cta, config.warp_size)
+
+    cap_threads = config.max_threads_per_sm // metadata.threads_per_cta
+    cap_cta_slots = config.max_ctas_per_sm
+    if metadata.shared_mem_per_cta > 0:
+        cap_shared_mem = config.shared_mem_per_sm // metadata.shared_mem_per_cta
+    else:
+        cap_shared_mem = config.max_ctas_per_sm
+
+    available_regs = config.registers_per_sm - reserved_registers
+    if available_regs < 0:
+        available_regs = 0
+    regs_per_cta = regs * warps_per_cta * config.warp_size
+    cap_registers = available_regs // regs_per_cta if regs_per_cta else cap_cta_slots
+
+    # Warp-slot cap folded into the thread cap via max_warps.
+    cap_warp_slots = config.max_warps_per_sm // warps_per_cta
+
+    caps = {
+        "threads": cap_threads,
+        "cta_slots": cap_cta_slots,
+        "shared_mem": cap_shared_mem,
+        "registers": cap_registers,
+        "warp_slots": cap_warp_slots,
+    }
+    ctas = min(caps.values())
+    if ctas < 0:
+        ctas = 0
+    limiting = min(caps, key=lambda k: caps[k])
+
+    return OccupancyResult(
+        ctas_per_sm=ctas,
+        warps_per_cta=warps_per_cta,
+        limiting_resource=limiting,
+        max_warps=config.max_warps_per_sm,
+        cap_threads=cap_threads,
+        cap_cta_slots=cap_cta_slots,
+        cap_shared_mem=cap_shared_mem,
+        cap_registers=cap_registers,
+    )
+
+
+def occupancy_limited_by_registers(
+    config: GpuConfig, metadata: KernelMetadata
+) -> bool:
+    """Whether the register cap is the (strict) binding constraint.
+
+    The paper's §IV-A selects kernels "for which the occupancy is limited
+    by high register demand": relaxing the register term must increase
+    resident warps.
+    """
+    base = theoretical_occupancy(config, metadata)
+    # Relax registers entirely and compare.
+    relaxed = theoretical_occupancy(config, metadata, regs_per_thread=1)
+    return relaxed.resident_warps > base.resident_warps

@@ -1,0 +1,14 @@
+"""Comparator techniques for the paper's Figure 9 evaluation.
+
+* :mod:`repro.baselines.owf` — Jatala et al. (HPDC'16) resource sharing
+  with Owner-Warp-First scheduling: warp pairs share high-index
+  registers behind a one-shot lock held until the owner finishes.
+* :mod:`repro.baselines.rfv` — Jeon et al. (MICRO'15) register file
+  virtualization: a renaming table allocates physical registers at first
+  write and reclaims them when values die, at a large storage cost.
+"""
+
+from repro.baselines.owf import OwfTechnique, OwfSmState
+from repro.baselines.rfv import RfvTechnique, RfvSmState
+
+__all__ = ["OwfTechnique", "OwfSmState", "RfvTechnique", "RfvSmState"]

@@ -1,0 +1,25 @@
+"""Control-flow analysis substrate.
+
+Builds basic blocks and a control-flow graph from a
+:class:`repro.isa.kernel.Kernel`, plus dominator/post-dominator trees and
+natural-loop detection.  The RegMutex compiler uses post-dominators for
+divergence-conservative liveness (paper §III-A1) and loops for workload
+characterization.
+"""
+
+from repro.cfg.basic_blocks import BasicBlock, split_into_blocks
+from repro.cfg.graph import ControlFlowGraph, build_cfg
+from repro.cfg.dominance import DominatorTree, dominator_tree, post_dominator_tree
+from repro.cfg.loops import NaturalLoop, find_natural_loops
+
+__all__ = [
+    "BasicBlock",
+    "split_into_blocks",
+    "ControlFlowGraph",
+    "build_cfg",
+    "DominatorTree",
+    "dominator_tree",
+    "post_dominator_tree",
+    "NaturalLoop",
+    "find_natural_loops",
+]

@@ -1,0 +1,60 @@
+"""Basic-block splitting (leader analysis).
+
+A leader is: the first instruction, any branch target, and any
+instruction immediately following a branch or exit.  Blocks are maximal
+leader-to-leader ranges of the flat instruction list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction
+from repro.isa.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line instruction range ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise ValueError(f"empty basic block [{self.start}, {self.end})")
+
+    @property
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    @property
+    def last_pc(self) -> int:
+        return self.end - 1
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def instructions(self, kernel: Kernel) -> tuple[Instruction, ...]:
+        return kernel.instructions[self.start : self.end]
+
+
+def split_into_blocks(kernel: Kernel) -> list[BasicBlock]:
+    """Split a kernel into basic blocks in program order."""
+    n = len(kernel)
+    leaders: set[int] = {0}
+    for pc, inst in enumerate(kernel):
+        if inst.is_branch:
+            leaders.add(kernel.label_pc(inst.target))
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif inst.is_exit and pc + 1 < n:
+            leaders.add(pc + 1)
+
+    ordered = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    for i, start in enumerate(ordered):
+        end = ordered[i + 1] if i + 1 < len(ordered) else n
+        blocks.append(BasicBlock(index=i, start=start, end=end))
+    return blocks

@@ -1,0 +1,142 @@
+"""Dominator and post-dominator trees (Cooper-Harvey-Kennedy algorithm).
+
+The RegMutex liveness pass needs *immediate post-dominators* of branch
+blocks: a register defined before a divergent branch and used inside any
+arm must be treated as live in every arm until the branches reconverge
+at the immediate post-dominator (paper §III-A1, Figure 3).
+
+Post-dominance is computed as dominance on the reversed CFG with a
+virtual exit node that links every exit block (GPU kernels can have
+several ``EXIT`` points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cfg.graph import ControlFlowGraph
+
+VIRTUAL_EXIT = -1
+
+
+@dataclass(frozen=True)
+class DominatorTree:
+    """Immediate-(post-)dominator relation over block indices.
+
+    ``idom[b]`` is the immediate dominator of block ``b``; the root maps
+    to itself.  For the post-dominator tree the root is ``VIRTUAL_EXIT``.
+    """
+
+    root: int
+    idom: dict[int, int]
+
+    def immediate(self, block: int) -> Optional[int]:
+        """Immediate dominator of ``block``; None for the root."""
+        if block == self.root:
+            return None
+        return self.idom.get(block)
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether ``a`` (post-)dominates ``b`` (reflexive)."""
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            if node == self.root:
+                return False
+            node = self.idom.get(node)
+        return False
+
+    def dominators_of(self, block: int) -> list[int]:
+        """The (post-)dominator chain from ``block`` up to the root."""
+        chain = [block]
+        node = block
+        while node != self.root:
+            node = self.idom[node]
+            chain.append(node)
+        return chain
+
+
+def _compute_idoms(
+    nodes: list[int],
+    root: int,
+    preds: dict[int, tuple[int, ...]],
+) -> dict[int, int]:
+    """Cooper-Harvey-Kennedy 'a simple, fast dominance algorithm'."""
+    # Reverse post-order numbering from the root over the given edges.
+    order: list[int] = []
+    visited = {root}
+    stack: list[tuple[int, int]] = [(root, 0)]
+    succs: dict[int, list[int]] = {n: [] for n in nodes}
+    for node, ps in preds.items():
+        for p in ps:
+            succs.setdefault(p, []).append(node)
+    while stack:
+        current, child_idx = stack[-1]
+        children = succs.get(current, [])
+        if child_idx < len(children):
+            stack[-1] = (current, child_idx + 1)
+            nxt = children[child_idx]
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            order.append(current)
+            stack.pop()
+    order.reverse()
+    rpo_number = {node: i for i, node in enumerate(order)}
+
+    idom: dict[int, int] = {root: root}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while rpo_number[a] > rpo_number[b]:
+                a = idom[a]
+            while rpo_number[b] > rpo_number[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == root:
+                continue
+            candidates = [p for p in preds.get(node, ()) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominator_tree(cfg: ControlFlowGraph) -> DominatorTree:
+    """Dominator tree rooted at the CFG entry."""
+    nodes = [b.index for b in cfg.blocks]
+    idom = _compute_idoms(nodes, cfg.entry, cfg.predecessors)
+    return DominatorTree(root=cfg.entry, idom=idom)
+
+
+def post_dominator_tree(cfg: ControlFlowGraph) -> DominatorTree:
+    """Post-dominator tree rooted at a virtual exit joining all EXIT blocks."""
+    nodes = [b.index for b in cfg.blocks] + [VIRTUAL_EXIT]
+    # Reverse the CFG: predecessors of node n = successors of n in the CFG,
+    # with the virtual exit preceding (in reverse orientation) every real
+    # exit block.
+    rev_preds: dict[int, tuple[int, ...]] = {}
+    for blk in cfg.blocks:
+        rev_preds[blk.index] = cfg.successors[blk.index]
+    exits = cfg.exit_blocks()
+    for ex in exits:
+        rev_preds[ex] = rev_preds[ex] + (VIRTUAL_EXIT,) if rev_preds[ex] else (VIRTUAL_EXIT,)
+    rev_preds[VIRTUAL_EXIT] = ()
+    # In the reversed graph, edges flow from VIRTUAL_EXIT backwards:
+    # node n's predecessors (reversed) are its CFG successors; the DFS in
+    # _compute_idoms walks successors-of-reversed = predecessors-of-CFG.
+    idom = _compute_idoms(nodes, VIRTUAL_EXIT, rev_preds)
+    return DominatorTree(root=VIRTUAL_EXIT, idom=idom)

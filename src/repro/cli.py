@@ -1,0 +1,243 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig7 [--apps BFS,SAD] [--cache PATH]
+    python -m repro fig9a
+    python -m repro storage
+    python -m repro run BFS --technique regmutex [--half-rf] [--es 6]
+
+``run`` executes a single (app, technique) pair and prints the raw
+record — the quickest way to poke at one configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.config import GTX480
+from repro.baselines.owf import OwfTechnique, owf_priority
+from repro.baselines.rfv import RfvTechnique
+from repro.harness import experiments as E
+from repro.harness.reporting import format_percent_series, format_table, percent
+from repro.harness.runner import ExperimentRunner
+from repro.regmutex.issue_logic import RegMutexTechnique
+from repro.regmutex.paired import PairedWarpsTechnique
+from repro.sim.technique import BaselineTechnique
+from repro.workloads.suite import APPLICATIONS, build_app_kernel, get_app
+
+_EXPERIMENTS = (
+    "fig1", "table1", "fig7", "fig8", "fig9a", "fig9b",
+    "fig10", "fig11", "fig12a", "fig12b", "fig13", "storage",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RegMutex (ISCA 2018) reproduction experiments",
+    )
+    parser.add_argument(
+        "--cache", default=".bench_cache.json",
+        help="simulation result cache path (default: %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments and apps")
+    for name in _EXPERIMENTS:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument(
+            "--apps", default=None,
+            help="comma-separated app subset (where applicable)",
+        )
+        p.add_argument(
+            "--csv", default=None, metavar="PATH",
+            help="also export the rows to a CSV file",
+        )
+
+    run = sub.add_parser("run", help="run one app under one technique")
+    run.add_argument("app", choices=sorted(APPLICATIONS))
+    run.add_argument(
+        "--technique",
+        choices=("baseline", "regmutex", "paired", "owf", "rfv"),
+        default="regmutex",
+    )
+    run.add_argument("--es", type=int, default=None,
+                     help="force |Es| (default: Table I's split)")
+    run.add_argument("--half-rf", action="store_true",
+                     help="halve the register file")
+    return parser
+
+
+def _apps_arg(args) -> tuple[str, ...] | None:
+    if getattr(args, "apps", None):
+        names = tuple(a.strip() for a in args.apps.split(","))
+        for name in names:
+            get_app(name)  # raises with suggestions on typos
+        return names
+    return None
+
+
+def _cmd_list() -> int:
+    print("experiments:", ", ".join(_EXPERIMENTS))
+    print("apps:")
+    for spec in APPLICATIONS.values():
+        print(f"  {spec.name:<16} {spec.suite:<9} {spec.group:<18} "
+              f"regs={spec.regs} |Bs|={spec.expected_bs}")
+    return 0
+
+
+def _cmd_run(args, runner: ExperimentRunner) -> int:
+    spec = get_app(args.app)
+    config = GTX480.with_half_register_file() if args.half_rf else GTX480
+    es = args.es if args.es is not None else spec.expected_es
+    techniques = {
+        "baseline": lambda: (BaselineTechnique(), None),
+        "regmutex": lambda: (RegMutexTechnique(extended_set_size=es), None),
+        "paired": lambda: (PairedWarpsTechnique(extended_set_size=es), None),
+        "owf": lambda: (OwfTechnique(), owf_priority),
+        "rfv": lambda: (RfvTechnique(), None),
+    }
+    technique, priority = techniques[args.technique]()
+    kernel = build_app_kernel(spec)
+    record = runner.run(kernel, config, technique, scheduler_priority=priority)
+    base = runner.run(kernel, config, BaselineTechnique())
+    print(format_table(
+        ["field", "value"],
+        [
+            ["app", record.kernel_name],
+            ["config", record.config_name],
+            ["technique", record.technique],
+            ["cycles/CTA", f"{record.cycles_per_cta:.1f}"],
+            ["vs baseline", percent(record.reduction_vs(base))],
+            ["occupancy", f"{record.theoretical_occupancy:.0%}"],
+            ["acquire success", f"{record.acquire_success_rate:.0%}"],
+            ["instructions issued", record.instructions_issued],
+        ],
+    ))
+    return 0
+
+
+def _maybe_csv(args, rows) -> None:
+    path = getattr(args, "csv", None)
+    if path:
+        from repro.harness.export import rows_to_csv
+
+        rows_to_csv(rows, path)
+        print(f"(rows exported to {path})")
+
+
+def _cmd_experiment(name: str, args, runner: ExperimentRunner) -> int:
+    apps = _apps_arg(args)
+
+    if name == "fig1":
+        rows = E.fig1_liveness_traces(apps or E.FIGURE1_APPS)
+        for row in rows:
+            print(format_percent_series(row.app, row.utilization_series))
+        _maybe_csv(args, rows)
+        return 0
+    if name == "table1":
+        rows = E.table1_workloads()
+        print(format_table(
+            ["app", "regs", "rounded", "|Bs|", "|Es|", "sections", "heuristic"],
+            [[r.app, r.regs, r.regs_rounded, r.bs, r.es, r.srp_sections,
+              r.heuristic_agrees] for r in rows],
+        ))
+        _maybe_csv(args, rows)
+        return 0
+    if name == "storage":
+        budgets = E.storage_overhead_comparison()
+        print(format_table(
+            ["technique", "bits/SM"],
+            [[n, b.total_bits] for n, b in budgets.items()],
+        ))
+        return 0
+
+    kwargs = {"apps": apps} if apps else {}
+    if name == "fig7":
+        rows = E.fig7_occupancy_boost(runner, **kwargs)
+        print(format_table(
+            ["app", "reduction", "occ init", "occ regmutex", "acq success"],
+            [[r.app, percent(r.cycle_reduction), f"{r.occupancy_init:.0%}",
+              f"{r.occupancy_regmutex:.0%}",
+              f"{r.acquire_success_rate:.0%}"] for r in rows],
+        ))
+    elif name == "fig8":
+        rows = E.fig8_half_register_file(runner, **kwargs)
+        print(format_table(
+            ["app", "increase bare", "increase regmutex"],
+            [[r.app, percent(r.increase_no_technique),
+              percent(r.increase_regmutex)] for r in rows],
+        ))
+    elif name == "fig9a":
+        rows = E.fig9a_comparison_baseline(runner, **kwargs)
+        print(format_table(
+            ["app", "OWF", "RFV", "RegMutex"],
+            [[r.app, percent(r.reduction_owf), percent(r.reduction_rfv),
+              percent(r.reduction_regmutex)] for r in rows],
+        ))
+    elif name == "fig9b":
+        rows = E.fig9b_comparison_half_rf(runner, **kwargs)
+        print(format_table(
+            ["app", "none", "OWF", "RFV", "RegMutex"],
+            [[r.app, percent(r.increase_none), percent(r.increase_owf),
+              percent(r.increase_rfv), percent(r.increase_regmutex)]
+             for r in rows],
+        ))
+    elif name == "fig10":
+        rows = E.fig10_es_sensitivity(runner, **kwargs)
+        print(format_table(
+            ["app", "|Es|", "reduction", "heuristic pick"],
+            [[r.app, r.es, percent(r.cycle_reduction), r.is_heuristic_pick]
+             for r in rows],
+        ))
+    elif name == "fig11":
+        rows = E.fig11_occupancy_and_acquires(runner, **kwargs)
+        print(format_table(
+            ["app", "|Es|", "occupancy", "acquire success"],
+            [[r.app, r.es, f"{r.theoretical_occupancy:.0%}",
+              f"{r.acquire_success_rate:.0%}"] for r in rows],
+        ))
+    elif name == "fig12a":
+        rows = E.fig12_paired_warps(runner, half_rf=False)
+        print(format_table(
+            ["app", "paired reduction", "default reduction"],
+            [[r.app, percent(r.metric), percent(r.metric_default)]
+             for r in rows],
+        ))
+    elif name == "fig12b":
+        rows = E.fig12_paired_warps(runner, half_rf=True)
+        print(format_table(
+            ["app", "paired increase", "default increase"],
+            [[r.app, percent(r.metric), percent(r.metric_default)]
+             for r in rows],
+        ))
+    elif name == "fig13":
+        rows = E.fig13_acquire_success(runner)
+        print(format_table(
+            ["app", "arch", "default", "paired"],
+            [[r.app, r.arch, f"{r.success_default:.0%}",
+              f"{r.success_paired:.0%}"] for r in rows],
+        ))
+    else:  # pragma: no cover - parser restricts choices
+        raise AssertionError(name)
+    _maybe_csv(args, rows)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    runner = ExperimentRunner(cache_path=args.cache)
+    if args.command == "run":
+        return _cmd_run(args, runner)
+    return _cmd_experiment(args.command, args, runner)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

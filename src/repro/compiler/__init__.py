@@ -1,0 +1,31 @@
+"""RegMutex compiler support (paper §III-A).
+
+Four methodical steps: (1) register liveness analysis (lives in
+:mod:`repro.liveness`), (2) extended-set size selection, (3)
+acquire/release primitive injection, (4) architected register index
+compaction.  :func:`repro.compiler.pipeline.regmutex_compile` chains
+them into a single kernel-to-kernel transformation.
+"""
+
+from repro.compiler.es_selection import (
+    EsSelection,
+    select_extended_set_size,
+    candidate_es_sizes,
+)
+from repro.compiler.regions import AcquireRegion, find_acquire_regions
+from repro.compiler.acquire_release import inject_primitives
+from repro.compiler.compaction import compact_register_indices, CompactionError
+from repro.compiler.pipeline import regmutex_compile, CompilationReport
+
+__all__ = [
+    "EsSelection",
+    "select_extended_set_size",
+    "candidate_es_sizes",
+    "AcquireRegion",
+    "find_acquire_regions",
+    "inject_primitives",
+    "compact_register_indices",
+    "CompactionError",
+    "regmutex_compile",
+    "CompilationReport",
+]

@@ -1,0 +1,181 @@
+"""Architected register index compaction (paper §III-A4).
+
+Before each release, every live value must sit at an index below |Bs| so
+the release state only touches base-set physical registers.  For each
+live register ``o >= |Bs|`` at a release point, the pass:
+
+1. picks a free base-set slot ``f`` (an index < |Bs| with no live value),
+2. inserts ``MOV Rf, Ro`` immediately before the RELEASE, and
+3. renames every use of ``o`` that is reached by this move — forward
+   along the CFG until ``o`` is redefined — to ``f``.
+
+The rename is only sound if no renamed use is *also* reachable from a
+different definition of ``o`` that bypasses the move; the pass verifies
+this and raises :class:`CompactionError` otherwise (the workload
+generator never produces such shapes, but hand-written kernels could).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cfg.graph import ControlFlowGraph, build_cfg
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.kernel import Kernel
+from repro.liveness.liveness import analyze_liveness
+
+
+class CompactionError(ValueError):
+    """Compaction cannot be performed safely for this kernel shape."""
+
+
+def _successor_pcs(kernel: Kernel, pc: int) -> list[int]:
+    inst = kernel[pc]
+    if inst.is_exit:
+        return []
+    if inst.is_branch:
+        targets = [kernel.label_pc(inst.target)]
+        if inst.is_conditional_branch and pc + 1 < len(kernel):
+            targets.append(pc + 1)
+        return targets
+    return [pc + 1] if pc + 1 < len(kernel) else []
+
+
+def _uses_reached(kernel: Kernel, start_pc: int, reg: int) -> set[int]:
+    """Use PCs of ``reg`` reachable from ``start_pc`` (inclusive) without
+    passing a redefinition of ``reg``."""
+    uses: set[int] = set()
+    seen: set[int] = set()
+    stack = [start_pc]
+    while stack:
+        pc = stack.pop()
+        if pc in seen or pc >= len(kernel):
+            continue
+        seen.add(pc)
+        inst = kernel[pc]
+        if reg in inst.srcs:
+            uses.add(pc)
+        if reg in inst.dsts:
+            continue  # value killed past this point on this path
+        stack.extend(_successor_pcs(kernel, pc))
+    return uses
+
+
+def _other_defs_reach(kernel: Kernel, reg: int, use_pc: int, barrier_pc: int) -> bool:
+    """Whether any definition of ``reg`` other than the move at
+    ``barrier_pc`` reaches ``use_pc`` without passing ``barrier_pc``."""
+    sources = [0] + [
+        pc + 1
+        for pc, inst in enumerate(kernel)
+        if reg in inst.dsts and pc != barrier_pc and pc + 1 < len(kernel)
+    ]
+    seen: set[int] = set()
+    stack = list(sources)
+    while stack:
+        pc = stack.pop()
+        if pc in seen or pc >= len(kernel):
+            continue
+        if pc == barrier_pc:
+            continue  # would pass through the move; that path is renamed
+        seen.add(pc)
+        if pc == use_pc:
+            return True
+        inst = kernel[pc]
+        if reg in inst.dsts:
+            continue
+        stack.extend(_successor_pcs(kernel, pc))
+    return False
+
+
+def compact_register_indices(kernel: Kernel, base_set_size: int) -> Kernel:
+    """Run index compaction for every RELEASE point of a kernel.
+
+    The input must already contain the injected primitives.  Returns a
+    kernel in which, at every RELEASE, no live register index reaches
+    past ``base_set_size``.  Idempotent on already-compact kernels.
+    """
+    if base_set_size <= 0:
+        raise ValueError("base set size must be positive")
+
+    # Iterate because renaming shifts liveness; each round fixes one
+    # release point, and there are finitely many.
+    for _ in range(len(kernel) + 1):
+        info = analyze_liveness(kernel)
+        change = _compact_one(kernel, base_set_size, info)
+        if change is None:
+            return kernel
+        kernel = change
+    raise CompactionError("compaction failed to converge")  # pragma: no cover
+
+
+def _compact_one(kernel: Kernel, base_set_size: int, info) -> Kernel | None:
+    """Fix the first offending release point; None when all are clean."""
+    for pc, inst in enumerate(kernel):
+        if inst.opcode is not Opcode.RELEASE:
+            continue
+        live_after = info.live_out[pc]
+        overflow = sorted(r for r in live_after if r >= base_set_size)
+        if not overflow:
+            continue
+        occupied = {r for r in live_after if r < base_set_size}
+        free = [i for i in range(base_set_size) if i not in occupied]
+        if len(overflow) > len(free):
+            raise CompactionError(
+                f"release at pc {pc}: {len(overflow)} live extended "
+                f"registers but only {len(free)} free base slots — "
+                "|Bs| below the release-point live count"
+            )
+
+        instructions = list(kernel.instructions)
+        rename_pairs = list(zip(overflow, free))
+        # Insert MOVs before the release (old pc shifts by the count).
+        movs = [
+            Instruction(
+                Opcode.MOV, (dst,), (src,),
+                comment=f"compaction: R{src} -> R{dst}",
+            )
+            for src, dst in rename_pairs
+        ]
+        # The release may carry a label (region boundary); keep it on the
+        # first inserted MOV so branches still pass through the moves.
+        release = instructions[pc]
+        if release.label is not None and movs:
+            movs[0] = movs[0].with_label(release.label)
+            instructions[pc] = replace(release, label=None)
+        instructions[pc:pc] = movs
+        shifted = kernel.with_instructions(instructions)
+        release_pc = pc + len(movs)
+
+        # Rename downstream uses.
+        new_instructions = list(shifted.instructions)
+        for (src, dst), mov_offset in zip(rename_pairs, range(len(movs))):
+            mov_pc = pc + mov_offset
+            start = release_pc  # uses begin after the release point
+            reached = _uses_reached(shifted, start + 1, src)
+            for use_pc in reached:
+                if _other_defs_reach(shifted, src, use_pc, mov_pc):
+                    raise CompactionError(
+                        f"use of R{src} at pc {use_pc} is reachable from "
+                        "another definition; rename would be unsound"
+                    )
+            for use_pc in reached:
+                cur = new_instructions[use_pc]
+                new_instructions[use_pc] = replace(
+                    cur,
+                    srcs=tuple(dst if r == src else r for r in cur.srcs),
+                )
+        return shifted.with_instructions(new_instructions)
+    return None
+
+
+def verify_compact(kernel: Kernel, base_set_size: int) -> None:
+    """Assert no live register index reaches |Bs| at any RELEASE point."""
+    info = analyze_liveness(kernel)
+    for pc, inst in enumerate(kernel):
+        if inst.opcode is Opcode.RELEASE:
+            overflow = [r for r in info.live_out[pc] if r >= base_set_size]
+            if overflow:
+                raise CompactionError(
+                    f"release at pc {pc} leaves live extended registers "
+                    f"{sorted(overflow)}"
+                )

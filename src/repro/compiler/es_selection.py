@@ -1,0 +1,199 @@
+"""Extended-register-set size selection (paper §III-A2).
+
+The heuristic, as described in the paper with one documented
+disambiguation:
+
+1. Round the kernel's register demand to the allocation granularity
+   (Table I's parenthesised counts); call it R.
+2. Candidate |Es| values: each element of {0.1, 0.15, 0.2, 0.25, 0.3,
+   0.35}·R rounded to the nearest even integer (halves round up),
+   deduplicated, 0 < |Es| < R.
+3. Keep the candidates whose base set |Bs| = R − |Es| yields the highest
+   theoretical occupancy computed with the base set alone.
+4. Among those, pick the smallest |Es| whose SRP section count lets more
+   than half of the resident warps hold an extended set concurrently; if
+   no candidate satisfies that, take the one with the most sections
+   (largest |Es| on ties).
+
+   *Disambiguation*: the paper's prose says "largest element that
+   possibly results in concurrent progress of more than half the warps",
+   but its own worked example (R = 24, candidates {4, 6, 8} all at full
+   occupancy, sections {16, 26, 32}) selects |Es| = 6 — the smallest
+   candidate clearing the half-warp bar, not the largest (8 also
+   clears it at 32 sections).  We implement the smallest-clearing rule,
+   which reproduces the worked example exactly and Table I's picks.
+
+Two deadlock-avoidance rules then filter candidates:
+
+* the SRP must hold at least one section (no indefinite acquire stall);
+* |Bs| must cover the live-register count at every CTA-wide barrier
+  (no cross-warp wait cycle between a barrier and an acquire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import GpuConfig
+from repro.arch.occupancy import (
+    round_regs_to_granularity,
+    theoretical_occupancy,
+    occupancy_limited_by_registers,
+)
+from repro.isa.kernel import Kernel
+from repro.liveness.liveness import LivenessInfo, analyze_liveness
+
+_MULTIPLIERS = (0.10, 0.15, 0.20, 0.25, 0.30, 0.35)
+
+
+def _round_to_even(value: float) -> int:
+    """Nearest even integer; exact odd integers and halves round up."""
+    lower = int(value // 2) * 2
+    upper = lower + 2
+    return lower if (value - lower) < (upper - value) else upper
+
+
+def candidate_es_sizes(rounded_regs: int) -> list[int]:
+    """Step 2: the even candidate sizes for a given rounded register count."""
+    candidates = set()
+    for mult in _MULTIPLIERS:
+        es = _round_to_even(mult * rounded_regs)
+        if 0 < es < rounded_regs:
+            candidates.add(es)
+    return sorted(candidates)
+
+
+@dataclass(frozen=True)
+class EsSelection:
+    """Outcome of the |Es| heuristic."""
+
+    extended_set_size: int
+    base_set_size: int
+    rounded_regs: int
+    srp_sections: int
+    occupancy_warps: int
+    reason: str
+    candidates_considered: tuple[int, ...] = ()
+
+    @property
+    def uses_regmutex(self) -> bool:
+        return self.extended_set_size > 0
+
+
+def _sections_for(
+    config: GpuConfig, kernel: Kernel, bs: int, es: int
+) -> tuple[int, int]:
+    """(resident warps, SRP sections) for a Bs/Es split."""
+    from repro.regmutex.issue_logic import srp_section_count
+
+    occ = theoretical_occupancy(
+        config, kernel.metadata, regs_per_thread=bs, granularity=1
+    )
+    sections = srp_section_count(config, occ.resident_warps, bs, es)
+    return occ.resident_warps, sections
+
+
+def select_extended_set_size(
+    kernel: Kernel,
+    config: GpuConfig,
+    liveness: LivenessInfo | None = None,
+    forced_es: int | None = None,
+) -> EsSelection:
+    """Run the heuristic (or validate a forced |Es| for the Fig 10 sweep)."""
+    md = kernel.metadata
+    rounded = round_regs_to_granularity(
+        md.regs_per_thread, config.register_allocation_granularity
+    )
+    info = liveness or analyze_liveness(kernel)
+
+    def no_regmutex(reason: str) -> EsSelection:
+        return EsSelection(
+            extended_set_size=0,
+            base_set_size=rounded,
+            rounded_regs=rounded,
+            srp_sections=0,
+            occupancy_warps=theoretical_occupancy(
+                config, md
+            ).resident_warps,
+            reason=reason,
+        )
+
+    # Barrier floor for deadlock rule 2.
+    barrier_floor = max(
+        (len(live) for _, live in info.live_at_barriers()), default=0
+    )
+
+    if forced_es is not None:
+        if forced_es <= 0:
+            return no_regmutex("forced |Es| = 0")
+        if forced_es >= rounded:
+            raise ValueError(f"forced |Es| {forced_es} >= register count {rounded}")
+        bs = rounded - forced_es
+        warps, sections = _sections_for(config, kernel, bs, forced_es)
+        if sections < 1:
+            return no_regmutex(
+                f"forced |Es| {forced_es} leaves no SRP section (deadlock rule 1)"
+            )
+        if bs < barrier_floor:
+            return no_regmutex(
+                f"forced |Es| {forced_es} violates barrier floor "
+                f"|Bs| {bs} < {barrier_floor} (deadlock rule 2)"
+            )
+        return EsSelection(
+            extended_set_size=forced_es,
+            base_set_size=bs,
+            rounded_regs=rounded,
+            srp_sections=sections,
+            occupancy_warps=warps,
+            reason="forced by caller",
+            candidates_considered=(forced_es,),
+        )
+
+    if not occupancy_limited_by_registers(config, md):
+        # Applications without high register pressure are untouched: all
+        # registers become base-set members, no primitives injected.
+        return no_regmutex("occupancy not limited by register usage")
+
+    candidates = candidate_es_sizes(rounded)
+    viable: list[tuple[int, int, int]] = []  # (es, warps, sections)
+    for es in candidates:
+        bs = rounded - es
+        if bs < barrier_floor or bs <= 0:
+            continue  # deadlock rule 2
+        warps, sections = _sections_for(config, kernel, bs, es)
+        if sections < 1:
+            continue  # deadlock rule 1
+        viable.append((es, warps, sections))
+
+    if not viable:
+        return no_regmutex("no candidate passes the deadlock rules")
+
+    best_warps = max(w for _, w, _ in viable)
+    top = [(es, w, s) for es, w, s in viable if w == best_warps]
+
+    # Step 4: smallest |Es| whose sections exceed half the resident warps.
+    for es, warps, sections in sorted(top):
+        if sections > warps / 2:
+            chosen = (es, warps, sections)
+            reason = (
+                f"smallest max-occupancy candidate with sections "
+                f"({sections}) > half of {warps} resident warps"
+            )
+            break
+    else:
+        chosen = max(top, key=lambda t: (t[2], t[0]))
+        reason = (
+            "no candidate clears the half-warp bar; picked the one with "
+            f"the most SRP sections ({chosen[2]})"
+        )
+
+    es, warps, sections = chosen
+    return EsSelection(
+        extended_set_size=es,
+        base_set_size=rounded - es,
+        rounded_regs=rounded,
+        srp_sections=sections,
+        occupancy_warps=warps,
+        reason=reason,
+        candidates_considered=tuple(c for c, _, _ in viable),
+    )

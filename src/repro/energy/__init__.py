@@ -1,0 +1,21 @@
+"""Register-file energy accounting (GPUWattch-style, heavily simplified).
+
+Backs the paper's cost pitch quantitatively: RegMutex lets a GPU ship a
+smaller register file at near-baseline performance, and a smaller SRAM
+array costs both dynamic energy (shorter bitlines) and leakage
+(fewer cells).  See :mod:`repro.energy.model`.
+"""
+
+from repro.energy.model import (
+    EnergyParams,
+    EnergyBreakdown,
+    estimate_register_file_energy,
+    compare_energy,
+)
+
+__all__ = [
+    "EnergyParams",
+    "EnergyBreakdown",
+    "estimate_register_file_energy",
+    "compare_energy",
+]

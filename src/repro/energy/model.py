@@ -1,0 +1,119 @@
+"""First-order register-file energy model.
+
+Two components, both functions of the register file size and the run's
+activity counters:
+
+* **dynamic** — energy per register-file access, scaled by the array
+  size (bigger arrays drive longer bitlines; we use the standard
+  square-root capacitance scaling).  Accesses are derived from issued
+  instructions: each issue reads its sources and writes its
+  destinations, 32 lanes wide.
+* **static (leakage)** — proportional to the number of SRAM cells and
+  to how long the kernel ran.  The default constant weights leakage at
+  roughly a third of a full-file baseline's register-file energy,
+  consistent with large-SRAM leakage shares in the GPUWattch-era
+  literature; with leakage much lighter than that, a *slower* small
+  file would come out "cheaper" than a fast one because time would cost
+  nothing.
+
+Absolute joules are meaningless here (the paper does not report them
+either — it cites Jeon et al.'s 20-30% RF power savings); what the
+model supports is *relative* comparisons: full-file baseline vs
+half-file RegMutex at the same work, where RegMutex's selling point is
+a smaller file at near-baseline runtime, i.e. lower leakage for ~equal
+dynamic energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import GpuConfig
+from repro.harness.runner import RunRecord
+
+# Reference numbers, in arbitrary consistent units, anchored to a Fermi
+# 128 KB/SM file: one 32-lane register read of the full-size array
+# costs 1.0; a cell-cycle of leakage costs LEAK_PER_CELL_CYCLE.
+_REFERENCE_REGS_PER_SM = 32 * 1024
+_LEAK_PER_CELL_CYCLE = 4.0e-5
+_AVG_READS_PER_INST = 1.8   # source operands per issued instruction
+_AVG_WRITES_PER_INST = 0.8  # destination operands per issued instruction
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Knobs of the model; defaults anchor to the Fermi baseline."""
+
+    read_energy_fullsize: float = 1.0
+    write_energy_fullsize: float = 1.1
+    leak_per_cell_cycle: float = _LEAK_PER_CELL_CYCLE
+    reads_per_instruction: float = _AVG_READS_PER_INST
+    writes_per_instruction: float = _AVG_WRITES_PER_INST
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one run, in the model's arbitrary units."""
+
+    dynamic: float
+    static: float
+    registers_per_sm: int
+    cycles: int
+
+    @property
+    def total(self) -> float:
+        """Dynamic plus static energy."""
+        return self.dynamic + self.static
+
+    def vs(self, other: "EnergyBreakdown") -> float:
+        """Fractional total-energy change vs ``other`` (negative = less)."""
+        if other.total == 0:
+            return 0.0
+        return (self.total - other.total) / other.total
+
+
+def _size_scale(registers_per_sm: int) -> float:
+    """Per-access energy scaling with array size (sqrt capacitance)."""
+    return math.sqrt(registers_per_sm / _REFERENCE_REGS_PER_SM)
+
+
+def estimate_register_file_energy(
+    record: RunRecord,
+    config: GpuConfig,
+    params: EnergyParams | None = None,
+) -> EnergyBreakdown:
+    """Estimate one run's register-file energy from its counters."""
+    params = params or EnergyParams()
+    scale = _size_scale(config.registers_per_sm)
+    accesses_dynamic = record.instructions_issued * (
+        params.reads_per_instruction * params.read_energy_fullsize
+        + params.writes_per_instruction * params.write_energy_fullsize
+    )
+    dynamic = accesses_dynamic * scale
+    static = (
+        config.registers_per_sm
+        * config.num_sms
+        * record.cycles
+        * params.leak_per_cell_cycle
+    )
+    return EnergyBreakdown(
+        dynamic=dynamic,
+        static=static,
+        registers_per_sm=config.registers_per_sm,
+        cycles=record.cycles,
+    )
+
+
+def compare_energy(
+    baseline: EnergyBreakdown, candidate: EnergyBreakdown
+) -> dict[str, float]:
+    """Relative deltas of a candidate configuration vs a baseline."""
+    def rel(a: float, b: float) -> float:
+        return (a - b) / b if b else 0.0
+
+    return {
+        "dynamic": rel(candidate.dynamic, baseline.dynamic),
+        "static": rel(candidate.static, baseline.static),
+        "total": candidate.vs(baseline),
+    }

@@ -1,0 +1,44 @@
+"""Experiment harness: one driver per paper table/figure.
+
+:mod:`repro.harness.runner` provides cached, tail-free kernel runs;
+:mod:`repro.harness.experiments` implements every experiment of §IV;
+:mod:`repro.harness.reporting` renders the same rows/series the paper
+plots as ASCII tables.
+"""
+
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.experiments import (
+    fig1_liveness_traces,
+    table1_workloads,
+    fig7_occupancy_boost,
+    fig8_half_register_file,
+    fig9a_comparison_baseline,
+    fig9b_comparison_half_rf,
+    fig10_es_sensitivity,
+    fig11_occupancy_and_acquires,
+    fig12_paired_warps,
+    fig13_acquire_success,
+    storage_overhead_comparison,
+)
+from repro.harness.reporting import format_table, format_percent_series
+from repro.harness.export import rows_to_csv, read_csv_rows
+
+__all__ = [
+    "ExperimentRunner",
+    "RunRecord",
+    "fig1_liveness_traces",
+    "table1_workloads",
+    "fig7_occupancy_boost",
+    "fig8_half_register_file",
+    "fig9a_comparison_baseline",
+    "fig9b_comparison_half_rf",
+    "fig10_es_sensitivity",
+    "fig11_occupancy_and_acquires",
+    "fig12_paired_warps",
+    "fig13_acquire_success",
+    "storage_overhead_comparison",
+    "format_table",
+    "format_percent_series",
+    "rows_to_csv",
+    "read_csv_rows",
+]

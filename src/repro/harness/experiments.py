@@ -1,0 +1,503 @@
+"""One driver per paper experiment (§IV and motivation §II).
+
+Every function takes an :class:`~repro.harness.runner.ExperimentRunner`
+(sharing its cache across experiments) and returns plain row dataclasses
+that the reporting module renders and the benchmark suite asserts on.
+
+RegMutex runs force Table I's |Bs|/|Es| split (``spec.expected_es``) so
+every figure uses exactly the paper's configuration; Figure 10/11 sweep
+|Es| explicitly and mark the heuristic's own pick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import GTX480, GpuConfig
+from repro.baselines.owf import OwfTechnique, owf_priority
+from repro.baselines.rfv import RfvTechnique
+from repro.compiler.es_selection import select_extended_set_size
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.liveness.pressure import dynamic_pressure_trace
+from repro.regmutex.issue_logic import RegMutexTechnique
+from repro.regmutex.paired import PairedWarpsTechnique
+from repro.regmutex.storage import (
+    StorageBudget,
+    owf_storage_bits,
+    paired_storage_bits,
+    regmutex_storage_bits,
+    rfv_storage_bits,
+)
+from repro.sim.technique import BaselineTechnique
+from repro.workloads.suite import (
+    APPLICATIONS,
+    FIGURE1_APPS,
+    OCCUPANCY_LIMITED_APPS,
+    REGISTER_RELAXED_APPS,
+    build_app_kernel,
+    get_app,
+)
+
+ES_SWEEP = (2, 4, 6, 8, 10, 12)
+
+
+def _half(config: GpuConfig) -> GpuConfig:
+    return config.with_half_register_file()
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — register liveness utilization traces
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One application's single-thread utilization trace (Figure 1)."""
+
+    app: str
+    instructions_executed: int
+    mean_utilization: float
+    min_utilization: float
+    max_utilization: float
+    fraction_at_peak: float
+    utilization_series: tuple[float, ...]
+
+
+def fig1_liveness_traces(
+    apps: tuple[str, ...] = FIGURE1_APPS, series_points: int = 64
+) -> list[Fig1Row]:
+    """Single-thread dynamic liveness traces (paper Figure 1)."""
+    rows = []
+    for name in apps:
+        trace = dynamic_pressure_trace(build_app_kernel(get_app(name)))
+        util = trace.utilization
+        stride = max(1, len(util) // series_points)
+        rows.append(
+            Fig1Row(
+                app=name,
+                instructions_executed=trace.instructions_executed,
+                mean_utilization=trace.mean_utilization(),
+                min_utilization=min(util),
+                max_utilization=max(util),
+                fraction_at_peak=trace.fraction_fully_utilized(),
+                utilization_series=tuple(util[::stride]),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table I — workloads, register demand, |Bs|
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One application row of Table I, plus derived SRP geometry."""
+
+    app: str
+    suite: str
+    regs: int
+    regs_rounded: int
+    bs: int
+    es: int
+    srp_sections: int
+    heuristic_agrees: bool
+
+
+def table1_workloads(config: GpuConfig = GTX480) -> list[Table1Row]:
+    """Table I plus the SRP section count our occupancy math implies."""
+    rows = []
+    for spec in APPLICATIONS.values():
+        kernel = build_app_kernel(spec)
+        sel_config = config if spec.group == "occupancy-limited" else _half(config)
+        selection = select_extended_set_size(kernel, sel_config)
+        forced = select_extended_set_size(
+            kernel, sel_config, forced_es=spec.expected_es
+        )
+        rows.append(
+            Table1Row(
+                app=spec.name,
+                suite=spec.suite,
+                regs=spec.regs,
+                regs_rounded=spec.rounded_regs,
+                bs=spec.expected_bs,
+                es=spec.expected_es,
+                srp_sections=forced.srp_sections,
+                heuristic_agrees=(
+                    selection.extended_set_size == spec.expected_es
+                ),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — occupancy boost on the baseline architecture
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """Cycle reduction and occupancy for one app (Figure 7)."""
+
+    app: str
+    cycle_reduction: float
+    occupancy_init: float
+    occupancy_regmutex: float
+    acquire_success_rate: float
+
+
+def fig7_occupancy_boost(
+    runner: ExperimentRunner,
+    apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
+    config: GpuConfig = GTX480,
+) -> list[Fig7Row]:
+    """Figure 7: RegMutex vs baseline on the full register file."""
+    rows = []
+    for name in apps:
+        spec = get_app(name)
+        kernel = build_app_kernel(spec)
+        base = runner.run(kernel, config, BaselineTechnique())
+        rm = runner.run(
+            kernel, config, RegMutexTechnique(extended_set_size=spec.expected_es)
+        )
+        rows.append(
+            Fig7Row(
+                app=name,
+                cycle_reduction=rm.reduction_vs(base),
+                occupancy_init=base.theoretical_occupancy,
+                occupancy_regmutex=rm.theoretical_occupancy,
+                acquire_success_rate=rm.acquire_success_rate,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — half register file resilience
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """Half-register-file slowdowns for one app (Figure 8)."""
+
+    app: str
+    increase_no_technique: float
+    increase_regmutex: float
+    occupancy_half_no_technique: float
+    occupancy_half_regmutex: float
+
+
+def fig8_half_register_file(
+    runner: ExperimentRunner,
+    apps: tuple[str, ...] = REGISTER_RELAXED_APPS,
+    config: GpuConfig = GTX480,
+) -> list[Fig8Row]:
+    """Figure 8: slowdown on a halved register file, with/without RegMutex."""
+    half = _half(config)
+    rows = []
+    for name in apps:
+        spec = get_app(name)
+        kernel = build_app_kernel(spec)
+        full = runner.run(kernel, config, BaselineTechnique())
+        bare = runner.run(kernel, half, BaselineTechnique())
+        rm = runner.run(
+            kernel, half, RegMutexTechnique(extended_set_size=spec.expected_es)
+        )
+        rows.append(
+            Fig8Row(
+                app=name,
+                increase_no_technique=bare.increase_vs(full),
+                increase_regmutex=rm.increase_vs(full),
+                occupancy_half_no_technique=bare.theoretical_occupancy,
+                occupancy_half_regmutex=rm.theoretical_occupancy,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — comparison with OWF and RFV
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig9aRow:
+    """Per-technique reductions on the baseline arch (Figure 9a)."""
+
+    app: str
+    reduction_owf: float
+    reduction_rfv: float
+    reduction_regmutex: float
+
+
+def fig9a_comparison_baseline(
+    runner: ExperimentRunner,
+    apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
+    config: GpuConfig = GTX480,
+) -> list[Fig9aRow]:
+    """Figure 9a: OWF vs RFV vs RegMutex, baseline architecture."""
+    rows = []
+    for name in apps:
+        spec = get_app(name)
+        kernel = build_app_kernel(spec)
+        base = runner.run(kernel, config, BaselineTechnique())
+        owf = runner.run(
+            kernel, config, OwfTechnique(), scheduler_priority=owf_priority
+        )
+        rfv = runner.run(kernel, config, RfvTechnique())
+        rm = runner.run(
+            kernel, config, RegMutexTechnique(extended_set_size=spec.expected_es)
+        )
+        rows.append(
+            Fig9aRow(
+                app=name,
+                reduction_owf=owf.reduction_vs(base),
+                reduction_rfv=rfv.reduction_vs(base),
+                reduction_regmutex=rm.reduction_vs(base),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Fig9bRow:
+    """Per-technique increases on the half file (Figure 9b)."""
+
+    app: str
+    increase_none: float
+    increase_owf: float
+    increase_rfv: float
+    increase_regmutex: float
+
+
+def fig9b_comparison_half_rf(
+    runner: ExperimentRunner,
+    apps: tuple[str, ...] = REGISTER_RELAXED_APPS,
+    config: GpuConfig = GTX480,
+) -> list[Fig9bRow]:
+    """Figure 9b: the same comparison on the halved register file."""
+    half = _half(config)
+    rows = []
+    for name in apps:
+        spec = get_app(name)
+        kernel = build_app_kernel(spec)
+        full = runner.run(kernel, config, BaselineTechnique())
+        bare = runner.run(kernel, half, BaselineTechnique())
+        owf = runner.run(
+            kernel, half, OwfTechnique(), scheduler_priority=owf_priority
+        )
+        rfv = runner.run(kernel, half, RfvTechnique())
+        rm = runner.run(
+            kernel, half, RegMutexTechnique(extended_set_size=spec.expected_es)
+        )
+        rows.append(
+            Fig9bRow(
+                app=name,
+                increase_none=bare.increase_vs(full),
+                increase_owf=owf.increase_vs(full),
+                increase_rfv=rfv.increase_vs(full),
+                increase_regmutex=rm.increase_vs(full),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 and 11 — |Es| sensitivity
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """One (app, |Es|) point of the sensitivity sweep (Figure 10)."""
+
+    app: str
+    es: int
+    cycle_reduction: float
+    is_heuristic_pick: bool
+
+
+def fig10_es_sensitivity(
+    runner: ExperimentRunner,
+    apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
+    config: GpuConfig = GTX480,
+    sweep: tuple[int, ...] = ES_SWEEP,
+) -> list[Fig10Row]:
+    """Figure 10: cycle-reduction sensitivity to the forced |Es|."""
+    rows = []
+    for name in apps:
+        spec = get_app(name)
+        kernel = build_app_kernel(spec)
+        base = runner.run(kernel, config, BaselineTechnique())
+        for es in sweep:
+            rm = runner.run(
+                kernel, config, RegMutexTechnique(extended_set_size=es)
+            )
+            rows.append(
+                Fig10Row(
+                    app=name,
+                    es=es,
+                    cycle_reduction=rm.reduction_vs(base),
+                    is_heuristic_pick=(es == spec.expected_es),
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    app: str
+    es: int
+    theoretical_occupancy: float
+    acquire_success_rate: float
+    is_heuristic_pick: bool
+    # False when the deadlock rules rejected this |Es| and the compiler
+    # fell back to the uninstrumented kernel (no acquires executed).
+    active: bool = True
+
+
+def fig11_occupancy_and_acquires(
+    runner: ExperimentRunner,
+    apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
+    config: GpuConfig = GTX480,
+    sweep: tuple[int, ...] = ES_SWEEP,
+) -> list[Fig11Row]:
+    """Figure 11: occupancy and acquire success across the |Es| sweep."""
+    rows = []
+    for name in apps:
+        spec = get_app(name)
+        kernel = build_app_kernel(spec)
+        for es in sweep:
+            rm = runner.run(
+                kernel, config, RegMutexTechnique(extended_set_size=es)
+            )
+            rows.append(
+                Fig11Row(
+                    app=name,
+                    es=es,
+                    theoretical_occupancy=rm.theoretical_occupancy,
+                    acquire_success_rate=rm.acquire_success_rate,
+                    is_heuristic_pick=(es == spec.expected_es),
+                    active=rm.acquire_attempts > 0,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — paired-warps specialization
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig12Row:
+    app: str
+    metric: float          # reduction (12a) or increase (12b)
+    occupancy_paired: float
+    metric_default: float  # same metric under default RegMutex
+
+
+def fig12_paired_warps(
+    runner: ExperimentRunner,
+    config: GpuConfig = GTX480,
+    half_rf: bool = False,
+) -> list[Fig12Row]:
+    """12(a) when ``half_rf`` is False (occupancy-limited apps, baseline
+    arch, cycle *reduction*); 12(b) when True (register-relaxed apps,
+    half RF, cycle *increase* vs the full-RF baseline)."""
+    rows = []
+    if not half_rf:
+        for name in OCCUPANCY_LIMITED_APPS:
+            spec = get_app(name)
+            kernel = build_app_kernel(spec)
+            base = runner.run(kernel, config, BaselineTechnique())
+            paired = runner.run(
+                kernel, config,
+                PairedWarpsTechnique(extended_set_size=spec.expected_es),
+            )
+            default = runner.run(
+                kernel, config,
+                RegMutexTechnique(extended_set_size=spec.expected_es),
+            )
+            rows.append(
+                Fig12Row(
+                    app=name,
+                    metric=paired.reduction_vs(base),
+                    occupancy_paired=paired.theoretical_occupancy,
+                    metric_default=default.reduction_vs(base),
+                )
+            )
+        return rows
+    half = _half(config)
+    for name in REGISTER_RELAXED_APPS:
+        spec = get_app(name)
+        kernel = build_app_kernel(spec)
+        full = runner.run(kernel, config, BaselineTechnique())
+        paired = runner.run(
+            kernel, half, PairedWarpsTechnique(extended_set_size=spec.expected_es)
+        )
+        default = runner.run(
+            kernel, half, RegMutexTechnique(extended_set_size=spec.expected_es)
+        )
+        rows.append(
+            Fig12Row(
+                app=name,
+                metric=paired.increase_vs(full),
+                occupancy_paired=paired.theoretical_occupancy,
+                metric_default=default.increase_vs(full),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — acquire success, default vs paired
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """Acquire success, default vs paired, for one app (Figure 13)."""
+
+    app: str
+    arch: str  # "baseline" | "half-rf"
+    success_default: float
+    success_paired: float
+
+
+def fig13_acquire_success(
+    runner: ExperimentRunner, config: GpuConfig = GTX480
+) -> list[Fig13Row]:
+    """Figure 13: acquire success rates, default vs paired, all 16 apps."""
+    rows = []
+    half = _half(config)
+    for name in OCCUPANCY_LIMITED_APPS + REGISTER_RELAXED_APPS:
+        spec = get_app(name)
+        kernel = build_app_kernel(spec)
+        arch = config if spec.group == "occupancy-limited" else half
+        default = runner.run(
+            kernel, arch, RegMutexTechnique(extended_set_size=spec.expected_es)
+        )
+        paired = runner.run(
+            kernel, arch, PairedWarpsTechnique(extended_set_size=spec.expected_es)
+        )
+        rows.append(
+            Fig13Row(
+                app=name,
+                arch="baseline" if spec.group == "occupancy-limited" else "half-rf",
+                success_default=default.acquire_success_rate,
+                success_paired=paired.acquire_success_rate,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# §III-B / §IV-C — hardware storage overhead
+# ---------------------------------------------------------------------------
+
+def storage_overhead_comparison(
+    config: GpuConfig = GTX480,
+) -> dict[str, StorageBudget]:
+    """Per-SM added storage of every technique (§III-B1 / §IV-C)."""
+    return {
+        "regmutex": regmutex_storage_bits(config),
+        "regmutex-paired": paired_storage_bits(config),
+        "rfv": rfv_storage_bits(config),
+        "owf": owf_storage_bits(config),
+    }

@@ -1,0 +1,62 @@
+"""ASCII rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    materialized = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_percent_series(
+    label: str, values: Sequence[float], width: int = 40
+) -> str:
+    """A one-line sparkline-style bar chart for a [0, 1] series."""
+    if not values:
+        return f"{label}: (empty)"
+    blocks = " .:-=+*#%@"
+    chars = []
+    stride = max(1, len(values) // width)
+    for v in values[::stride]:
+        clamped = min(max(v, 0.0), 1.0)
+        chars.append(blocks[min(int(clamped * (len(blocks) - 1)), len(blocks) - 1)])
+    return f"{label:<16} |{''.join(chars)}| min={min(values):.2f} max={max(values):.2f}"
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a signed percentage."""
+    return f"{value * 100:+.1f}%"

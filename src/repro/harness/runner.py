@@ -1,0 +1,174 @@
+"""Cached, tail-free kernel runs.
+
+Two problems a naive ``simulate_kernel`` comparison has:
+
+1. **CTA tails.** With a fixed grid, a technique with 6 resident CTAs
+   per SM can end on a nearly-empty last wave while one with 5 ends on a
+   full wave, polluting the comparison with an artifact of small grids
+   (the paper's grids are thousands of CTAs, so its tails are
+   negligible).  The runner sizes each technique's grid to whole waves
+   (per-SM CTA count a multiple of the technique's residency, targeting
+   a constant amount of work) and reports **cycles per CTA** — the
+   steady-state throughput both techniques would show on a huge grid.
+
+2. **Repeated work.** The figure suite re-runs many (app, config,
+   technique) combinations; the runner memoizes records in memory and,
+   optionally, in a JSON file keyed by a content hash of everything that
+   affects the result (kernel text, config, technique parameters, seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.arch.config import GpuConfig
+from repro.isa.kernel import Kernel
+from repro.isa.printer import format_kernel
+from repro.sim.gpu import Gpu
+from repro.sim.stats import SmStats
+from repro.sim.technique import BaselineTechnique, SharingTechnique
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Normalized outcome of one (kernel, config, technique) run."""
+
+    kernel_name: str
+    config_name: str
+    technique: str
+    cycles: int
+    ctas_total: int
+    ctas_per_sm_resident: int
+    cycles_per_cta: float
+    theoretical_occupancy: float
+    acquire_attempts: int
+    acquire_successes: int
+    release_count: int
+    instructions_issued: int
+    stall_acquire: int
+    stall_memory: int
+
+    @property
+    def acquire_success_rate(self) -> float:
+        """Granted acquires over attempts (1.0 when nothing was attempted)."""
+        if self.acquire_attempts == 0:
+            return 1.0
+        return self.acquire_successes / self.acquire_attempts
+
+    def reduction_vs(self, baseline: "RunRecord") -> float:
+        """Cycle-per-CTA reduction relative to ``baseline`` (positive =
+        faster), the paper's Figures 7/9a/10/12a metric."""
+        if baseline.cycles_per_cta == 0:
+            return 0.0
+        return (
+            baseline.cycles_per_cta - self.cycles_per_cta
+        ) / baseline.cycles_per_cta
+
+    def increase_vs(self, baseline: "RunRecord") -> float:
+        """Cycle-per-CTA increase relative to ``baseline`` (positive =
+        slower), the paper's Figures 8/9b/12b metric."""
+        return -self.reduction_vs(baseline)
+
+
+def _technique_fingerprint(technique: SharingTechnique) -> str:
+    """A stable description of a technique instance for cache keys."""
+    parts = [technique.name]
+    for attr in ("extended_set_size", "retry_policy", "enable_compaction",
+                 "model_version"):
+        if hasattr(technique, attr):
+            parts.append(f"{attr}={getattr(technique, attr)}")
+    return ";".join(parts)
+
+
+class ExperimentRunner:
+    """Runs kernels under techniques with memoization."""
+
+    def __init__(
+        self,
+        target_ctas_per_sm: int = 24,
+        seed: int = 2018,
+        cache_path: Optional[str] = None,
+    ) -> None:
+        self.target_ctas_per_sm = target_ctas_per_sm
+        self.seed = seed
+        self._memo: dict[str, RunRecord] = {}
+        self._cache_path = cache_path
+        if cache_path and os.path.exists(cache_path):
+            try:
+                with open(cache_path) as fh:
+                    raw = json.load(fh)
+                self._memo = {k: RunRecord(**v) for k, v in raw.items()}
+            except (json.JSONDecodeError, TypeError, OSError):
+                self._memo = {}  # corrupt cache: start fresh
+
+    # -- cache plumbing ---------------------------------------------------------
+    def _key(
+        self, kernel: Kernel, config: GpuConfig, technique: SharingTechnique
+    ) -> str:
+        payload = "|".join(
+            [
+                format_kernel(kernel),
+                repr(config),
+                _technique_fingerprint(technique),
+                str(self.seed),
+                str(self.target_ctas_per_sm),
+                "v5",  # bump to invalidate after simulator-semantics changes
+            ]
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _persist(self) -> None:
+        if not self._cache_path:
+            return
+        tmp = self._cache_path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump({k: asdict(v) for k, v in self._memo.items()}, fh)
+        os.replace(tmp, self._cache_path)
+
+    # -- the run -------------------------------------------------------------------
+    def run(
+        self,
+        kernel: Kernel,
+        config: GpuConfig,
+        technique: SharingTechnique | None = None,
+        scheduler_priority=None,
+    ) -> RunRecord:
+        """Run (or recall) one (kernel, config, technique) combination."""
+        technique = technique or BaselineTechnique()
+        key = self._key(kernel, config, technique)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+
+        gpu = Gpu(config, technique, seed=self.seed)
+        compiled = technique.prepare_kernel(kernel, config)
+        occ = technique.occupancy(compiled, config)
+        resident = max(1, occ.ctas_per_sm)
+        waves = max(2, round(self.target_ctas_per_sm / resident))
+        grid = resident * waves * config.num_sms
+
+        result = gpu.launch(kernel, grid, scheduler_priority=scheduler_priority)
+        total = result.stats.total
+        record = RunRecord(
+            kernel_name=kernel.name,
+            config_name=config.name,
+            technique=technique.name,
+            cycles=result.cycles,
+            ctas_total=grid,
+            ctas_per_sm_resident=resident,
+            cycles_per_cta=result.cycles / (resident * waves),
+            theoretical_occupancy=result.stats.theoretical_occupancy,
+            acquire_attempts=total.acquire_attempts,
+            acquire_successes=total.acquire_successes,
+            release_count=total.release_count,
+            instructions_issued=total.instructions_issued,
+            stall_acquire=total.stall_acquire,
+            stall_memory=total.stall_memory,
+        )
+        self._memo[key] = record
+        self._persist()
+        return record

@@ -1,0 +1,152 @@
+"""Fluent builder for constructing kernels programmatically.
+
+The workload generator and most tests construct kernels through this
+builder rather than the textual parser: it tracks labels, validates
+branch targets at :meth:`KernelBuilder.build` time (via ``Kernel``'s own
+checks), and offers convenience emitters for common instruction shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.kernel import Kernel, KernelMetadata
+
+
+class KernelBuilder:
+    """Accumulates instructions and produces a :class:`Kernel`."""
+
+    def __init__(
+        self,
+        name: str = "kernel",
+        regs_per_thread: int = 16,
+        threads_per_cta: int = 256,
+        shared_mem_per_cta: int = 0,
+    ) -> None:
+        self._name = name
+        self._regs_per_thread = regs_per_thread
+        self._threads_per_cta = threads_per_cta
+        self._shared_mem_per_cta = shared_mem_per_cta
+        self._instructions: list[Instruction] = []
+        self._pending_label: Optional[str] = None
+
+    # -- label handling --------------------------------------------------------
+    def label(self, name: str) -> "KernelBuilder":
+        """Attach ``name`` to the next emitted instruction."""
+        if self._pending_label is not None:
+            raise ValueError(
+                f"label {self._pending_label!r} already pending; emit an "
+                "instruction before placing another label"
+            )
+        self._pending_label = name
+        return self
+
+    def _emit(self, inst: Instruction) -> "KernelBuilder":
+        if self._pending_label is not None:
+            inst = inst.with_label(self._pending_label)
+            self._pending_label = None
+        self._instructions.append(inst)
+        return self
+
+    # -- generic emitter ---------------------------------------------------------
+    def op(
+        self,
+        opcode: Opcode,
+        dsts: Sequence[int] = (),
+        srcs: Sequence[int] = (),
+        **annotations,
+    ) -> "KernelBuilder":
+        return self._emit(
+            Instruction(opcode, tuple(dsts), tuple(srcs), **annotations)
+        )
+
+    # -- common shapes ------------------------------------------------------------
+    def alu(self, dst: int, *srcs: int, opcode: Opcode = Opcode.IADD) -> "KernelBuilder":
+        return self.op(opcode, (dst,), srcs)
+
+    def fma(self, dst: int, a: int, b: int, c: int) -> "KernelBuilder":
+        return self.op(Opcode.FFMA, (dst,), (a, b, c))
+
+    def mov(self, dst: int, src: int, comment: str | None = None) -> "KernelBuilder":
+        return self.op(Opcode.MOV, (dst,), (src,), comment=comment)
+
+    def ldc(self, dst: int) -> "KernelBuilder":
+        """Load a constant: defines ``dst`` with no register sources."""
+        return self.op(Opcode.LDC, (dst,))
+
+    def load(self, dst: int, addr: int, shared: bool = False) -> "KernelBuilder":
+        opcode = Opcode.LD_SHARED if shared else Opcode.LD_GLOBAL
+        return self.op(opcode, (dst,), (addr,))
+
+    def store(self, addr: int, value: int, shared: bool = False) -> "KernelBuilder":
+        opcode = Opcode.ST_SHARED if shared else Opcode.ST_GLOBAL
+        return self.op(opcode, (), (addr, value))
+
+    def setp(self, dst: int, a: int, b: int) -> "KernelBuilder":
+        return self.op(Opcode.ISETP, (dst,), (a, b))
+
+    def branch(
+        self,
+        target: str,
+        pred: int,
+        taken_probability: float | None = None,
+        trip_count: int | None = None,
+    ) -> "KernelBuilder":
+        return self.op(
+            Opcode.BRA,
+            (),
+            (pred,),
+            target=target,
+            taken_probability=taken_probability,
+            trip_count=trip_count,
+        )
+
+    def jump(self, target: str) -> "KernelBuilder":
+        return self.op(Opcode.JMP, target=target)
+
+    def barrier(self) -> "KernelBuilder":
+        return self.op(Opcode.BAR_SYNC)
+
+    def acquire(self) -> "KernelBuilder":
+        return self.op(Opcode.ACQUIRE)
+
+    def release(self) -> "KernelBuilder":
+        return self.op(Opcode.RELEASE)
+
+    def exit(self) -> "KernelBuilder":
+        return self.op(Opcode.EXIT)
+
+    def nop(self) -> "KernelBuilder":
+        return self.op(Opcode.NOP)
+
+    # -- finalization ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def build(self, regs_per_thread: int | None = None) -> Kernel:
+        """Produce the kernel; validates labels/targets and register bounds.
+
+        ``regs_per_thread`` defaults to the builder's declared count but is
+        raised to cover the highest referenced register if needed, which is
+        what a real register allocator would report.
+        """
+        if self._pending_label is not None:
+            raise ValueError(f"dangling label {self._pending_label!r} at end of kernel")
+        declared = regs_per_thread or self._regs_per_thread
+        max_ref = -1
+        for inst in self._instructions:
+            for reg in inst.registers:
+                max_ref = max(max_ref, reg)
+        regs = max(declared, max_ref + 1)
+        kernel = Kernel(
+            self._instructions,
+            KernelMetadata(
+                name=self._name,
+                regs_per_thread=regs,
+                threads_per_cta=self._threads_per_cta,
+                shared_mem_per_cta=self._shared_mem_per_cta,
+            ),
+        )
+        kernel.validate_register_bound()
+        return kernel

@@ -1,0 +1,192 @@
+"""Textual assembly parser.
+
+Round-trips with :mod:`repro.isa.printer`.  Syntax, one instruction per
+line::
+
+    [label:] OPCODE [dst_regs] [, src_regs] [-> target] [@p=0.5] [@trips=8]
+
+* register lists are space-free comma lists: ``R3,R4``
+* an instruction with no destinations writes nothing: ``ST.GLOBAL , R1,R2``
+  uses a leading comma to disambiguate (printer always emits it)
+* ``#`` starts a comment to end-of-line
+* directives: ``.kernel NAME``, ``.regs N``, ``.threads N``, ``.smem N``
+
+This exists so workloads can be checked into text files, diffs of the
+compiler passes are inspectable, and property tests can round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.kernel import Kernel, KernelMetadata
+
+
+class AsmSyntaxError(ValueError):
+    """Raised on malformed assembly text, with a line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):\s*(.*)$")
+_REG_RE = re.compile(r"^[rR](\d+)$")
+
+
+def _parse_reg_list(text: str, lineno: int) -> tuple[int, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    regs = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        m = _REG_RE.match(token)
+        if not m:
+            raise AsmSyntaxError(lineno, f"bad register token {token!r}")
+        regs.append(int(m.group(1)))
+    return tuple(regs)
+
+
+def parse_instruction(line: str, lineno: int = 0) -> Instruction:
+    """Parse a single instruction line (without directives)."""
+    line = line.split("#", 1)[0]
+    label: Optional[str] = None
+    m = _LABEL_RE.match(line)
+    if m:
+        label, line = m.group(1), m.group(2)
+    line = line.strip()
+    if not line:
+        raise AsmSyntaxError(
+            lineno,
+            "label with no instruction (only parse_kernel accepts "
+            "bare-label lines)",
+        )
+
+    # Annotations
+    taken_probability: Optional[float] = None
+    trip_count: Optional[int] = None
+    for ann in re.findall(r"@(\w+)=([\w.]+)", line):
+        key, value = ann
+        if key == "p":
+            taken_probability = float(value)
+        elif key == "trips":
+            trip_count = int(value)
+        else:
+            raise AsmSyntaxError(lineno, f"unknown annotation @{key}")
+    line = re.sub(r"@\w+=[\w.]+", "", line).strip()
+
+    # Branch target
+    target: Optional[str] = None
+    if "->" in line:
+        line, _, target_part = line.partition("->")
+        target = target_part.strip()
+        if not target:
+            raise AsmSyntaxError(lineno, "empty branch target after '->'")
+        line = line.strip()
+
+    # Opcode = first whitespace-delimited token
+    parts = line.split(None, 1)
+    opname = parts[0].upper()
+    if opname not in _OPCODES_BY_NAME:
+        raise AsmSyntaxError(lineno, f"unknown opcode {opname!r}")
+    opcode = _OPCODES_BY_NAME[opname]
+
+    dsts: tuple[int, ...] = ()
+    srcs: tuple[int, ...] = ()
+    if len(parts) > 1:
+        operand_text = parts[1].strip()
+        if operand_text:
+            if ";" in operand_text:
+                dst_text, _, src_text = operand_text.partition(";")
+            else:
+                dst_text, src_text = operand_text, ""
+            dsts = _parse_reg_list(dst_text, lineno)
+            srcs = _parse_reg_list(src_text, lineno)
+
+    try:
+        return Instruction(
+            opcode,
+            dsts,
+            srcs,
+            target=target,
+            label=label,
+            taken_probability=taken_probability,
+            trip_count=trip_count,
+        )
+    except ValueError as exc:
+        raise AsmSyntaxError(lineno, str(exc)) from exc
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse a full kernel listing, directives included."""
+    name = "kernel"
+    regs: Optional[int] = None
+    threads = 256
+    smem = 0
+    instructions: list[Instruction] = []
+    pending_label: Optional[str] = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        bare = _LABEL_RE.match(line)
+        if bare and not bare.group(2).strip():
+            # A label on its own line attaches to the next instruction.
+            if pending_label is not None:
+                raise AsmSyntaxError(
+                    lineno, f"two consecutive bare labels "
+                    f"({pending_label!r}, {bare.group(1)!r})"
+                )
+            pending_label = bare.group(1)
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".kernel" and len(parts) == 2:
+                name = parts[1]
+            elif directive == ".regs" and len(parts) == 2:
+                regs = int(parts[1])
+            elif directive == ".threads" and len(parts) == 2:
+                threads = int(parts[1])
+            elif directive == ".smem" and len(parts) == 2:
+                smem = int(parts[1])
+            else:
+                raise AsmSyntaxError(lineno, f"bad directive {line!r}")
+            continue
+        inst = parse_instruction(line, lineno)
+        if pending_label is not None:
+            if inst.label is not None:
+                raise AsmSyntaxError(
+                    lineno, f"instruction already labelled {inst.label!r} "
+                    f"but bare label {pending_label!r} is pending"
+                )
+            inst = inst.with_label(pending_label)
+            pending_label = None
+        instructions.append(inst)
+
+    if pending_label is not None:
+        raise AsmSyntaxError(0, f"dangling label {pending_label!r} at end of text")
+    if not instructions:
+        raise AsmSyntaxError(0, "no instructions in kernel text")
+
+    max_ref = max(
+        (r for inst in instructions for r in inst.registers), default=-1
+    )
+    declared = regs if regs is not None else max_ref + 1
+    declared = max(declared, max_ref + 1, 1)
+    return Kernel(
+        instructions,
+        KernelMetadata(
+            name=name,
+            regs_per_thread=declared,
+            threads_per_cta=threads,
+            shared_mem_per_cta=smem,
+        ),
+    )

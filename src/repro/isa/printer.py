@@ -1,0 +1,45 @@
+"""Textual assembly printer — inverse of :mod:`repro.isa.parser`."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.isa.kernel import Kernel
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction in the parser's syntax."""
+    pieces: list[str] = []
+    if inst.label is not None:
+        pieces.append(f"{inst.label}:")
+    pieces.append(inst.opcode.value)
+    if inst.dsts or inst.srcs:
+        dst_text = ",".join(f"R{r}" for r in inst.dsts)
+        src_text = ",".join(f"R{r}" for r in inst.srcs)
+        if inst.srcs:
+            pieces.append(f"{dst_text} ; {src_text}")
+        else:
+            pieces.append(dst_text)
+    if inst.target is not None:
+        pieces.append(f"-> {inst.target}")
+    if inst.taken_probability is not None:
+        pieces.append(f"@p={inst.taken_probability:g}")
+    if inst.trip_count is not None:
+        pieces.append(f"@trips={inst.trip_count}")
+    line = " ".join(pieces)
+    if inst.comment:
+        line = f"{line}  # {inst.comment}"
+    return line
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a full kernel listing with directives; parses back losslessly
+    (modulo comments)."""
+    md = kernel.metadata
+    lines = [
+        f".kernel {md.name}",
+        f".regs {md.regs_per_thread}",
+        f".threads {md.threads_per_cta}",
+        f".smem {md.shared_mem_per_cta}",
+    ]
+    lines.extend(format_instruction(inst) for inst in kernel)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,132 @@
+"""Architected register naming and register-set arithmetic.
+
+GPU kernels address a dense range of architected registers ``R0..R{n-1}``
+per thread.  The compiler passes manipulate *sets* of register indices
+(live sets, base sets, extended sets); :class:`RegisterSet` wraps a
+``frozenset``-like interface with the handful of operations the passes
+need while keeping a stable, sorted ``repr`` for debugging and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Register:
+    """A single architected register, identified by its dense index."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"register index must be non-negative, got {self.index}")
+
+    @property
+    def name(self) -> str:
+        """Assembly spelling, e.g. ``R7``."""
+        return f"R{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    @classmethod
+    def parse(cls, text: str) -> "Register":
+        """Parse ``R<k>`` (case-insensitive) into a :class:`Register`."""
+        stripped = text.strip()
+        if not stripped or stripped[0] not in "rR":
+            raise ValueError(f"not a register token: {text!r}")
+        body = stripped[1:]
+        if not body.isdigit():
+            raise ValueError(f"not a register token: {text!r}")
+        return cls(int(body))
+
+
+class RegisterSet:
+    """An immutable set of architected register indices.
+
+    Stored as a sorted tuple of ints; supports the set algebra used by
+    liveness analysis and the RegMutex base/extended split.
+    """
+
+    __slots__ = ("_indices",)
+
+    def __init__(self, indices: Iterable[int] = ()) -> None:
+        seen = set()
+        for idx in indices:
+            i = idx.index if isinstance(idx, Register) else int(idx)
+            if i < 0:
+                raise ValueError(f"register index must be non-negative, got {i}")
+            seen.add(i)
+        object.__setattr__(self, "_indices", tuple(sorted(seen)))
+
+    # -- construction helpers ------------------------------------------------
+    @classmethod
+    def range(cls, count: int) -> "RegisterSet":
+        """The dense set ``{0, 1, ..., count-1}``."""
+        return cls(range(count))
+
+    # -- container protocol --------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Register):
+            item = item.index
+        return item in set(self._indices)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._indices)
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RegisterSet):
+            return self._indices == other._indices
+        if isinstance(other, (set, frozenset)):
+            return set(self._indices) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._indices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"R{i}" for i in self._indices)
+        return f"RegisterSet({{{inner}}})"
+
+    # -- set algebra ----------------------------------------------------------
+    def union(self, other: "RegisterSet | Iterable[int]") -> "RegisterSet":
+        return RegisterSet([*self._indices, *other])
+
+    def difference(self, other: "RegisterSet | Iterable[int]") -> "RegisterSet":
+        drop = {i.index if isinstance(i, Register) else int(i) for i in other}
+        return RegisterSet(i for i in self._indices if i not in drop)
+
+    def intersection(self, other: "RegisterSet | Iterable[int]") -> "RegisterSet":
+        keep = {i.index if isinstance(i, Register) else int(i) for i in other}
+        return RegisterSet(i for i in self._indices if i in keep)
+
+    __or__ = union
+    __sub__ = difference
+    __and__ = intersection
+
+    # -- queries used by the compiler passes ----------------------------------
+    def max_index(self) -> int:
+        """Highest register index in the set; -1 when empty."""
+        return self._indices[-1] if self._indices else -1
+
+    def above(self, boundary: int) -> "RegisterSet":
+        """Members with ``index >= boundary`` (the extended-set overflow)."""
+        return RegisterSet(i for i in self._indices if i >= boundary)
+
+    def below(self, boundary: int) -> "RegisterSet":
+        """Members with ``index < boundary`` (the base-set residents)."""
+        return RegisterSet(i for i in self._indices if i < boundary)
+
+    def free_slots_below(self, boundary: int) -> tuple[int, ...]:
+        """Indices ``< boundary`` *not* in this set, ascending.
+
+        Used by index compaction to find destinations inside the base set
+        for live values stranded in the extended set.
+        """
+        occupied = set(self._indices)
+        return tuple(i for i in range(boundary) if i not in occupied)

@@ -1,0 +1,29 @@
+"""Register liveness analysis and pressure profiling.
+
+Implements the paper's §III-A1 analysis: backward dataflow liveness on
+the CFG with two divergence-conservative extensions, plus per-instruction
+live-register counts and the Figure 1 dynamic pressure traces.
+"""
+
+from repro.liveness.dataflow import BackwardDataflow, DataflowResult
+from repro.liveness.liveness import (
+    LivenessInfo,
+    analyze_liveness,
+    instruction_defs_uses,
+)
+from repro.liveness.pressure import (
+    PressureProfile,
+    static_pressure,
+    dynamic_pressure_trace,
+)
+
+__all__ = [
+    "BackwardDataflow",
+    "DataflowResult",
+    "LivenessInfo",
+    "analyze_liveness",
+    "instruction_defs_uses",
+    "PressureProfile",
+    "static_pressure",
+    "dynamic_pressure_trace",
+]

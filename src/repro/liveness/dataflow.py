@@ -1,0 +1,90 @@
+"""Generic iterative dataflow framework over the CFG.
+
+A small worklist solver parameterized by per-block transfer functions.
+Liveness is the only in-tree client, but the framework keeps the solver
+logic (worklist, convergence, meet-over-successors) testable in
+isolation and reusable for future analyses (reaching definitions, etc.).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.cfg.graph import ControlFlowGraph
+
+State = TypeVar("State", bound=frozenset)
+
+
+@dataclass
+class DataflowResult(Generic[State]):
+    """Fixed-point facts at block boundaries."""
+
+    block_in: dict[int, State]
+    block_out: dict[int, State]
+    iterations: int
+
+
+class BackwardDataflow(Generic[State]):
+    """Backward may-analysis: OUT[b] = union of IN over successors,
+    IN[b] = transfer(b, OUT[b]).
+
+    ``transfer`` receives the block index and the OUT set and must return
+    the IN set.  ``boundary`` seeds the OUT of exit blocks.
+    """
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        transfer: Callable[[int, frozenset], frozenset],
+        boundary: frozenset = frozenset(),
+    ) -> None:
+        self._cfg = cfg
+        self._transfer = transfer
+        self._boundary = boundary
+
+    def solve(self, max_iterations: int = 10_000) -> DataflowResult:
+        cfg = self._cfg
+        block_in: dict[int, frozenset] = {
+            b.index: frozenset() for b in cfg.blocks
+        }
+        block_out: dict[int, frozenset] = {
+            b.index: frozenset() for b in cfg.blocks
+        }
+
+        # Process in post-order (reverse of RPO) for fast backward convergence.
+        order = list(reversed(cfg.reverse_post_order()))
+        worklist: deque[int] = deque(order)
+        queued = set(order)
+        iterations = 0
+
+        while worklist:
+            iterations += 1
+            if iterations > max_iterations:
+                raise RuntimeError(
+                    f"dataflow failed to converge after {max_iterations} steps"
+                )
+            block = worklist.popleft()
+            queued.discard(block)
+
+            succs = cfg.successors[block]
+            if succs:
+                out: frozenset = frozenset().union(
+                    *(block_in[s] for s in succs)
+                )
+            else:
+                out = self._boundary
+            new_in = self._transfer(block, out)
+
+            if out != block_out[block] or new_in != block_in[block]:
+                block_out[block] = out
+                block_in[block] = new_in
+                for pred in cfg.predecessors[block]:
+                    if pred not in queued:
+                        worklist.append(pred)
+                        queued.add(pred)
+
+        return DataflowResult(
+            block_in=block_in, block_out=block_out, iterations=iterations
+        )

@@ -1,0 +1,77 @@
+"""Architected-to-physical mapping augmented for RegMutex (Figure 6b).
+
+The mux: for architected index ``X``, if ``X < |Bs|`` the register lives
+in the warp's exclusive base block at ``X + |Bs| * Widx``; otherwise it
+lives in the warp's currently-held SRP section at
+``(X - |Bs|) + |Es| * LUT(Widx) + SRP_offset``.  The SRP offset is the
+first physical index past all resident warps' base blocks.
+
+Resolving an extended-set register while the warp holds no section is a
+hardware protocol violation; the mapper raises, and the simulator's
+self-check tests assert the compiled kernels never trigger it.
+"""
+
+from __future__ import annotations
+
+from repro.regmutex.srp import SharedRegisterPool
+from repro.sim.regfile import MappedRegister
+
+
+class RegMutexRegisterMapper:
+    """Resolves physical indices for base and extended registers."""
+
+    def __init__(
+        self,
+        base_set_size: int,
+        extended_set_size: int,
+        resident_warps: int,
+        total_registers: int,
+        srp: SharedRegisterPool,
+    ) -> None:
+        if base_set_size <= 0:
+            raise ValueError("base set size must be positive")
+        if extended_set_size < 0:
+            raise ValueError("extended set size must be non-negative")
+        self._bs = base_set_size
+        self._es = extended_set_size
+        self._srp = srp
+        self._total = total_registers
+        # SRP begins right after the statically packed base blocks.
+        self._srp_offset = base_set_size * resident_warps
+        srp_capacity = extended_set_size * srp.num_sections
+        if self._srp_offset + srp_capacity > total_registers:
+            raise ValueError(
+                "register file overcommitted: "
+                f"{self._srp_offset} base + {srp_capacity} SRP "
+                f"> {total_registers} physical registers"
+            )
+
+    @property
+    def srp_offset(self) -> int:
+        return self._srp_offset
+
+    def resolve(self, warp_index: int, arch_reg: int) -> MappedRegister:
+        if arch_reg < self._bs:
+            # Base path of the mux: Y = X + |Bs| * Widx.
+            return MappedRegister(
+                physical_index=arch_reg + self._bs * warp_index,
+                region="base",
+            )
+        if arch_reg >= self._bs + self._es:
+            raise ValueError(
+                f"architected register R{arch_reg} outside |Bs|+|Es| = "
+                f"{self._bs}+{self._es}"
+            )
+        if not self._srp.holds_section(warp_index):
+            raise PermissionError(
+                f"warp {warp_index} touched extended register R{arch_reg} "
+                "without holding an SRP section"
+            )
+        section = self._srp.lut_entry(warp_index)
+        assert section is not None
+        physical = (arch_reg - self._bs) + self._es * section + self._srp_offset
+        if physical >= self._total:
+            raise ValueError(
+                f"physical register {physical} exceeds file size {self._total}"
+            )
+        return MappedRegister(physical_index=physical, region="extended")

@@ -1,0 +1,176 @@
+"""Shared Register Pool hardware structures (paper §III-B1, Figures 4/5).
+
+Three tiny structures per SM:
+
+* **warp status bitmask** — one bit per warp slot: has this warp
+  acquired its extended set?  (``Nw`` bits)
+* **SRP bitmask** — one bit per SRP section: is the section taken?
+  Allocation is Find-First-Zero.  Sections beyond the number that
+  physically fits are pre-set at kernel placement and never cleared.
+  (``Nw`` bits)
+* **LUT** — per-warp entry of ``ceil(log2 Nw)`` bits recording which
+  section the warp holds.
+
+:class:`Bitmask` models a fixed-width hardware bitmask faithfully
+(including FFZ); :class:`SharedRegisterPool` composes the three
+structures with the acquire/release procedures of Figure 5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class Bitmask:
+    """Fixed-width bitmask with hardware-style operations."""
+
+    __slots__ = ("_width", "_bits")
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError("bitmask width must be positive")
+        self._width = width
+        self._bits = 0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit {index} outside width {self._width}")
+
+    def set(self, index: int) -> None:
+        self._check(index)
+        self._bits |= 1 << index
+
+    def unset(self, index: int) -> None:
+        self._check(index)
+        self._bits &= ~(1 << index)
+
+    def test(self, index: int) -> bool:
+        self._check(index)
+        return bool(self._bits >> index & 1)
+
+    def find_first_zero(self) -> Optional[int]:
+        """Index of the least-significant zero bit; None if full."""
+        inverted = ~self._bits & ((1 << self._width) - 1)
+        if inverted == 0:
+            return None
+        return (inverted & -inverted).bit_length() - 1
+
+    def popcount(self) -> int:
+        return self._bits.bit_count()
+
+    def as_int(self) -> int:
+        return self._bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitmask({self._width}, {self._bits:#x})"
+
+
+class SharedRegisterPool:
+    """The SRP allocator: status bitmask + SRP bitmask + LUT.
+
+    ``num_sections`` is how many extended sets physically fit; bits past
+    it are pre-set at construction ("kernel placement") per the paper.
+    """
+
+    def __init__(self, max_warps: int, num_sections: int) -> None:
+        if num_sections < 0:
+            raise ValueError("num_sections must be non-negative")
+        if num_sections > max_warps:
+            # The SRP bitmask is Nw bits long; more sections than warp
+            # slots cannot be addressed (and would be useless anyway).
+            raise ValueError(
+                f"num_sections {num_sections} exceeds warp slots {max_warps}"
+            )
+        self._max_warps = max_warps
+        self._num_sections = num_sections
+        self.warp_status = Bitmask(max_warps)
+        self.srp_bitmask = Bitmask(max_warps)
+        # LUT: one entry of ceil(log2 Nw) bits per warp.
+        self._lut: list[Optional[int]] = [None] * max_warps
+        for section in range(num_sections, max_warps):
+            self.srp_bitmask.set(section)
+
+    # -- geometry ---------------------------------------------------------------
+    @property
+    def num_sections(self) -> int:
+        return self._num_sections
+
+    @property
+    def max_warps(self) -> int:
+        return self._max_warps
+
+    @property
+    def sections_in_use(self) -> int:
+        return self.srp_bitmask.popcount() - (self._max_warps - self._num_sections)
+
+    @property
+    def sections_free(self) -> int:
+        return self._num_sections - self.sections_in_use
+
+    def lut_entry(self, warp_slot: int) -> Optional[int]:
+        return self._lut[warp_slot]
+
+    def holds_section(self, warp_slot: int) -> bool:
+        return self.warp_status.test(warp_slot)
+
+    # -- acquire/release procedures (Figure 5) ------------------------------------
+    def acquire(self, warp_slot: int) -> Optional[int]:
+        """Attempt to acquire a section for a warp slot.
+
+        Returns the granted section index, or None when the SRP is full
+        (the warp must wait and retry).  A nested acquire — the warp
+        already holds a section — is a no-op returning the held section,
+        per the paper's "an acquire after another acquire ... should have
+        no effect".
+        """
+        if self.warp_status.test(warp_slot):
+            return self._lut[warp_slot]
+        section = self.srp_bitmask.find_first_zero()
+        if section is None:
+            return None
+        self.srp_bitmask.set(section)
+        self.warp_status.set(warp_slot)
+        self._lut[warp_slot] = section
+        return section
+
+    def release(self, warp_slot: int) -> Optional[int]:
+        """Release the warp's section; no-op if it holds none (nested
+        release rule).  Returns the freed section index, or None."""
+        if not self.warp_status.test(warp_slot):
+            return None
+        section = self._lut[warp_slot]
+        assert section is not None, "status bit set but LUT empty"
+        self.warp_status.unset(warp_slot)
+        self.srp_bitmask.unset(section)
+        self._lut[warp_slot] = None
+        return section
+
+    # -- invariant checking (used by property tests) ---------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the three structures disagree."""
+        held = [s for s in self._lut if s is not None]
+        assert len(held) == len(set(held)), "two warps hold the same section"
+        for slot in range(self._max_warps):
+            if self.warp_status.test(slot):
+                section = self._lut[slot]
+                assert section is not None, f"slot {slot}: status set, LUT empty"
+                assert section < self._num_sections, (
+                    f"slot {slot}: holds phantom section {section}"
+                )
+                assert self.srp_bitmask.test(section), (
+                    f"slot {slot}: LUT says {section} but SRP bit clear"
+                )
+            else:
+                assert self._lut[slot] is None, f"slot {slot}: stale LUT entry"
+        assert self.sections_in_use == len(held)
+        assert 0 <= self.sections_free <= self._num_sections
+
+
+def lut_bits(max_warps: int) -> int:
+    """Storage of the LUT in bits: Nw entries of ceil(log2 Nw) bits."""
+    return max_warps * math.ceil(math.log2(max_warps)) if max_warps > 1 else 1

@@ -1,0 +1,48 @@
+"""Cooperative Thread Array: a barrier-synchronized group of warps."""
+
+from __future__ import annotations
+
+from repro.sim.warp import Warp, WarpStatus
+
+
+class Cta:
+    """A CTA resident on an SM: its warps plus barrier bookkeeping."""
+
+    __slots__ = ("cta_id", "warps", "_arrived")
+
+    def __init__(self, cta_id: int, warps: list[Warp]) -> None:
+        if not warps:
+            raise ValueError("CTA must contain at least one warp")
+        self.cta_id = cta_id
+        self.warps = warps
+        self._arrived: set[int] = set()
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    @property
+    def finished(self) -> bool:
+        return all(w.finished for w in self.warps)
+
+    # -- barrier protocol -------------------------------------------------------
+    def arrive_at_barrier(self, warp: Warp) -> bool:
+        """Mark a warp arrived; returns True when the barrier releases.
+
+        Finished warps don't participate (a warp that has exited cannot
+        arrive, matching CUDA semantics where ``__syncthreads`` must be
+        reached by all *live* threads of the CTA).
+        """
+        warp.status = WarpStatus.AT_BARRIER
+        self._arrived.add(warp.warp_id)
+        live = [w for w in self.warps if not w.finished]
+        if all(w.warp_id in self._arrived for w in live):
+            for w in live:
+                if w.status is WarpStatus.AT_BARRIER:
+                    w.status = WarpStatus.READY
+            self._arrived.clear()
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cta(id={self.cta_id}, warps={self.num_warps})"

@@ -1,0 +1,86 @@
+"""Memory latency model.
+
+Loads complete after either the L1 hit latency or the DRAM latency,
+chosen by a per-access hit/miss draw against the configured hit rate
+from a deterministic per-SM stream.  Stores are fire-and-forget (write
+buffer), consistent with how latency-tolerant GPU pipelines treat them.
+
+This is intentionally a latency model, not a bandwidth model: the
+paper's first-order effect — more resident warps hide more memory
+latency — needs per-access latencies and warp-level overlap, which the
+scoreboard provides.  An optional in-flight cap models MSHR pressure so
+extreme occupancy cannot hide latency for free.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import GpuConfig
+from repro.sim.rand import DeterministicRng
+
+
+class MemoryModel:
+    """Per-SM memory subsystem."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        rng: DeterministicRng,
+        max_in_flight: int | None = None,
+    ) -> None:
+        self._config = config
+        self._rng = rng
+        self._max_in_flight = (
+            max_in_flight if max_in_flight is not None
+            else config.max_in_flight_loads
+        )
+        # Completion cycles of in-flight loads (multiset as sorted list is
+        # overkill; dict cycle -> count keeps retire O(1)).
+        self._in_flight: dict[int, int] = {}
+        self._in_flight_total = 0
+        self.loads_issued = 0
+        self.l1_hits = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight_total
+
+    def can_accept(self) -> bool:
+        return self._in_flight_total < self._max_in_flight
+
+    def issue_load(self, cycle: int, shared: bool = False) -> int:
+        """Issue a load; returns the cycle its value is ready.
+
+        Shared-memory accesses complete at a fixed short latency and do
+        not occupy the in-flight window.
+        """
+        if shared:
+            return cycle + self._config.l1_hit_latency // 2 + 1
+        if not self.can_accept():
+            raise RuntimeError("memory model saturated; call can_accept first")
+        self.loads_issued += 1
+        if self._rng.uniform() < self._config.l1_hit_rate:
+            self.l1_hits += 1
+            latency = self._config.l1_hit_latency
+        else:
+            latency = self._config.dram_latency
+        done = cycle + latency
+        self._in_flight[done] = self._in_flight.get(done, 0) + 1
+        self._in_flight_total += 1
+        return done
+
+    def earliest_completion(self, cycle: int) -> int | None:
+        """Soonest in-flight load completion after ``cycle`` (None if idle)."""
+        future = [c for c in self._in_flight if c > cycle]
+        return min(future) if future else None
+
+    def retire(self, cycle: int) -> None:
+        """Retire loads whose completion cycle has passed."""
+        done = [c for c in self._in_flight if c <= cycle]
+        for c in done:
+            self._in_flight_total -= self._in_flight.pop(c)
+
+    @property
+    def l1_hit_rate_observed(self) -> float:
+        if self.loads_issued == 0:
+            return 0.0
+        return self.l1_hits / self.loads_issued

@@ -1,0 +1,152 @@
+"""Concurrent kernel co-scheduling, with the paper's fallback rule.
+
+The paper (§IV): "Co-scheduling dissimilar kernels on an SM is not
+supported by our technique and results in falling back to the default
+execution mode (zero-sized extended set)."  This module implements
+exactly that contract:
+
+* :func:`launch_concurrent` places CTAs of several kernels on the same
+  device.  When all kernels are *similar* (the same instruction stream
+  — the common GPU case the paper assumes for RegMutex), the installed
+  technique applies as usual.
+* When the kernels are dissimilar, every kernel is compiled with a
+  zero-sized extended set (no acquire/release primitives, full static
+  allocation) and execution proceeds in the stock mode.
+
+CTA placement interleaves the kernels round-robin; each SM sizes its
+residency so the *worst-case* kernel mix fits (per-CTA cost is taken as
+the maximum across kernels, the conservative choice a real co-scheduler
+must make without per-slot repacking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import GpuConfig
+from repro.arch.occupancy import theoretical_occupancy
+from repro.isa.kernel import Kernel
+from repro.sim.rand import DeterministicRng
+from repro.sim.sm import StreamingMultiprocessor
+from repro.sim.stats import KernelStats, SmStats
+from repro.sim.technique import BaselineTechnique, SharingTechnique
+
+
+@dataclass(frozen=True)
+class ConcurrentLaunchResult:
+    stats: KernelStats
+    kernels: tuple[Kernel, ...]
+    fell_back_to_default: bool
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+def kernels_similar(kernels: list[Kernel]) -> bool:
+    """The paper's similarity condition: identical programs.
+
+    Metadata (name) may differ; what matters is that every warp executes
+    the same instruction stream, so one |Bs|/|Es| split and one communal
+    SRP apply to all resident warps.
+    """
+    first = kernels[0]
+    return all(
+        k.instructions == first.instructions
+        and k.metadata.regs_per_thread == first.metadata.regs_per_thread
+        and k.metadata.threads_per_cta == first.metadata.threads_per_cta
+        for k in kernels[1:]
+    )
+
+
+def launch_concurrent(
+    kernels: list[Kernel],
+    ctas_each: list[int],
+    config: GpuConfig,
+    technique: SharingTechnique | None = None,
+    seed: int = 2018,
+) -> ConcurrentLaunchResult:
+    """Run several kernels concurrently on one device."""
+    if not kernels:
+        raise ValueError("need at least one kernel")
+    if len(kernels) != len(ctas_each):
+        raise ValueError("kernels and ctas_each must align")
+    if any(c <= 0 for c in ctas_each):
+        raise ValueError("every kernel needs at least one CTA")
+    technique = technique or BaselineTechnique()
+
+    similar = kernels_similar(kernels)
+    fell_back = not similar and not isinstance(technique, BaselineTechnique)
+
+    if similar and not fell_back:
+        compiled = [technique.prepare_kernel(kernels[0], config)] * len(kernels)
+        occ = technique.occupancy(compiled[0], config)
+        state_factory = lambda stats: technique.make_sm_state(  # noqa: E731
+            compiled[0], config, stats
+        )
+    else:
+        # Fallback: zero-sized extended sets, stock execution for all.
+        compiled = [
+            k.with_metadata(base_set_size=None, extended_set_size=None)
+            for k in kernels
+        ]
+        # Conservative residency: every resident slot must be able to
+        # hold the most expensive kernel in the mix.
+        occs = [theoretical_occupancy(config, k.metadata) for k in compiled]
+        occ = min(occs, key=lambda o: o.ctas_per_sm)
+        base = BaselineTechnique()
+        state_factory = lambda stats: base.make_sm_state(  # noqa: E731
+            compiled[0], config, stats
+        )
+    if occ.ctas_per_sm <= 0:
+        raise RuntimeError("kernel mix does not fit on the SM")
+
+    # Interleave the grid round-robin across kernels.
+    schedule: list[Kernel] = []
+    remaining = list(ctas_each)
+    while any(remaining):
+        for i, k in enumerate(compiled):
+            if remaining[i] > 0:
+                schedule.append(k)
+                remaining[i] -= 1
+
+    # Partition the schedule across SMs (contiguous chunks).
+    num_sms = config.num_sms
+    per_sm: list[list[Kernel]] = [[] for _ in range(num_sms)]
+    for idx, k in enumerate(schedule):
+        per_sm[idx % num_sms].append(k)
+
+    sm_stats: list[SmStats] = []
+    for sm_id, sm_kernels in enumerate(per_sm):
+        if not sm_kernels:
+            sm_stats.append(SmStats())
+            continue
+        stats = SmStats()
+        sm = StreamingMultiprocessor(
+            sm_id=sm_id,
+            config=config,
+            kernel=sm_kernels[0],
+            technique_state=state_factory(stats),
+            ctas_resident_limit=occ.ctas_per_sm,
+            total_ctas=len(sm_kernels),
+            rng=DeterministicRng(seed * 7 + sm_id),
+            stats=stats,
+            kernels_for_ctas=sm_kernels,
+        )
+        sm_stats.append(sm.run())
+
+    cycles = max((s.cycles for s in sm_stats), default=0)
+    kstats = KernelStats(
+        kernel_name="+".join(k.name for k in kernels),
+        config_name=config.name,
+        technique=technique.name if not fell_back else "baseline(fallback)",
+        cycles=cycles,
+        theoretical_occupancy=occ.occupancy,
+        ctas_per_sm=occ.ctas_per_sm,
+        per_sm=sm_stats,
+    )
+    return ConcurrentLaunchResult(
+        stats=kstats,
+        kernels=tuple(compiled),
+        fell_back_to_default=fell_back,
+    )

@@ -1,0 +1,58 @@
+"""Architected-to-physical register mapping (operand-collector level).
+
+The baseline GPU maps a warp's architected register X to physical index
+``Y = X + B`` with ``B = Coeff * Widx`` where Coeff is the kernel's
+per-thread register allocation (paper §III-B2, Figure 6a).  The RegMutex
+mapper in :mod:`repro.regmutex.mapping` extends this with the
+base/extended mux.
+
+The simulator does not need physical indices for timing, but modelling
+the mapper lets tests prove the central safety property: no two
+co-resident warps ever map distinct (warp, architected) pairs onto the
+same physical register — with the single sanctioned exception of SRP
+sections being time-shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MappedRegister:
+    """A resolved physical register index with provenance."""
+
+    physical_index: int
+    region: str  # "base" | "extended"
+
+
+class BaselineRegisterMapper:
+    """Stock ``Y = X + Coeff * Widx`` mapping."""
+
+    def __init__(self, coeff: int, total_registers: int) -> None:
+        if coeff <= 0:
+            raise ValueError("per-warp register coefficient must be positive")
+        self._coeff = coeff
+        self._total = total_registers
+
+    @property
+    def coeff(self) -> int:
+        return self._coeff
+
+    def resolve(self, warp_index: int, arch_reg: int) -> MappedRegister:
+        if arch_reg >= self._coeff:
+            raise ValueError(
+                f"architected register R{arch_reg} outside the warp's "
+                f"{self._coeff}-register allocation"
+            )
+        physical = arch_reg + self._coeff * warp_index
+        if physical >= self._total:
+            raise ValueError(
+                f"physical register {physical} exceeds register file size "
+                f"{self._total} (warp {warp_index} not resident?)"
+            )
+        return MappedRegister(physical_index=physical, region="base")
+
+    def max_resident_warps(self) -> int:
+        """How many warps the register file can hold at this coefficient."""
+        return self._total // self._coeff

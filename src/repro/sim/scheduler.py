@@ -1,0 +1,112 @@
+"""Warp schedulers: greedy-then-oldest (GTO) and loose round-robin (LRR).
+
+Each SM hosts ``config.num_schedulers`` scheduler instances; resident
+warps are partitioned across them by warp id (even/odd for two
+schedulers, as on Fermi).  A scheduler, given the set of issuable warps
+this cycle, picks one.
+
+GTO (the paper's baseline policy): keep issuing from the same warp until
+it stalls, then switch to the oldest ready warp (oldest = lowest launch
+sequence number).
+
+LRR: rotate through warps in id order starting after the last issued.
+
+The OWF baseline (Jatala et al.) adds *owner-warp-first* on top of GTO:
+warps holding the pair lock outrank everyone else, which
+:mod:`repro.baselines.owf` implements as a priority hook.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.sim.warp import Warp
+
+
+class WarpScheduler:
+    """Base scheduler interface."""
+
+    def __init__(self, scheduler_id: int) -> None:
+        self.scheduler_id = scheduler_id
+
+    def pick(self, candidates: Sequence[Warp]) -> Optional[Warp]:
+        """Choose one warp among issuable candidates (None if empty)."""
+        raise NotImplementedError
+
+    def notify_issued(self, warp: Warp) -> None:
+        """Called after the chosen warp successfully issued."""
+
+    def notify_removed(self, warp: Warp) -> None:
+        """Called when a warp leaves the SM (CTA retired)."""
+
+
+class GtoScheduler(WarpScheduler):
+    """Greedy-then-oldest with an optional priority hook.
+
+    ``priority`` maps a warp to a sort key *before* the greedy/oldest
+    rule; lower sorts first.  The default gives every warp equal priority.
+    """
+
+    def __init__(
+        self,
+        scheduler_id: int,
+        priority: Callable[[Warp], int] | None = None,
+    ) -> None:
+        super().__init__(scheduler_id)
+        self._greedy: Optional[Warp] = None
+        self._priority = priority or (lambda w: 0)
+
+    def pick(self, candidates: Sequence[Warp]) -> Optional[Warp]:
+        if not candidates:
+            return None
+        best_priority = min(self._priority(w) for w in candidates)
+        top = [w for w in candidates if self._priority(w) == best_priority]
+        if self._greedy is not None and self._greedy in top:
+            return self._greedy
+        # Oldest = smallest warp id (ids are assigned in launch order).
+        return min(top, key=lambda w: w.warp_id)
+
+    def notify_issued(self, warp: Warp) -> None:
+        self._greedy = warp
+
+    def notify_removed(self, warp: Warp) -> None:
+        if self._greedy is warp:
+            self._greedy = None
+
+
+class LrrScheduler(WarpScheduler):
+    """Loose round-robin: next warp id after the last issued one."""
+
+    def __init__(self, scheduler_id: int) -> None:
+        super().__init__(scheduler_id)
+        self._last_id = -1
+
+    def pick(self, candidates: Sequence[Warp]) -> Optional[Warp]:
+        if not candidates:
+            return None
+        ordered = sorted(candidates, key=lambda w: w.warp_id)
+        for warp in ordered:
+            if warp.warp_id > self._last_id:
+                return warp
+        return ordered[0]
+
+    def notify_issued(self, warp: Warp) -> None:
+        self._last_id = warp.warp_id
+
+    def notify_removed(self, warp: Warp) -> None:
+        pass
+
+
+def make_scheduler(
+    policy: str,
+    scheduler_id: int,
+    priority: Callable[[Warp], int] | None = None,
+) -> WarpScheduler:
+    """Factory keyed by the config's ``scheduler_policy`` string."""
+    if policy == "gto":
+        return GtoScheduler(scheduler_id, priority=priority)
+    if policy == "lrr":
+        if priority is not None:
+            raise ValueError("priority hook is only supported for GTO")
+        return LrrScheduler(scheduler_id)
+    raise ValueError(f"unknown scheduler policy {policy!r}")

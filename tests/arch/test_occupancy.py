@@ -1,0 +1,132 @@
+"""Tests for the theoretical occupancy calculator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.config import GTX480, fermi_like
+from repro.arch.occupancy import (
+    occupancy_limited_by_registers,
+    round_regs_to_granularity,
+    theoretical_occupancy,
+)
+from repro.isa.kernel import KernelMetadata
+
+
+class TestRounding:
+    @pytest.mark.parametrize("regs,expected", [
+        (21, 24), (25, 28), (44, 44), (32, 32), (33, 36), (30, 32),
+        (12, 12), (15, 16), (13, 16), (16, 16), (18, 20), (28, 28),
+        (1, 4), (4, 4),
+    ])
+    def test_table1_roundings(self, regs, expected):
+        """Table I's parenthesised numbers at granularity 4."""
+        assert round_regs_to_granularity(regs, 4) == expected
+
+    def test_granularity_one_is_identity(self):
+        assert round_regs_to_granularity(21, 1) == 21
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            round_regs_to_granularity(0, 4)
+
+    @given(st.integers(min_value=1, max_value=256),
+           st.integers(min_value=1, max_value=8))
+    def test_rounding_properties(self, regs, gran):
+        rounded = round_regs_to_granularity(regs, gran)
+        assert rounded >= regs
+        assert rounded % gran == 0
+        assert rounded - regs < gran
+
+
+class TestTheoreticalOccupancy:
+    def test_thread_limited_kernel(self):
+        md = KernelMetadata(regs_per_thread=8, threads_per_cta=256)
+        occ = theoretical_occupancy(GTX480, md)
+        # 1536 threads / 256 = 6 CTAs = 48 warps: full occupancy.
+        assert occ.ctas_per_sm == 6
+        assert occ.occupancy == 1.0
+
+    def test_register_limited_kernel(self):
+        md = KernelMetadata(regs_per_thread=32, threads_per_cta=512)
+        occ = theoretical_occupancy(GTX480, md)
+        # 32 regs * 512 threads = 16K regs/CTA -> 2 CTAs.
+        assert occ.ctas_per_sm == 2
+        assert occ.limiting_resource == "registers"
+
+    def test_shared_memory_limit(self):
+        md = KernelMetadata(
+            regs_per_thread=8, threads_per_cta=128, shared_mem_per_cta=16 * 1024
+        )
+        occ = theoretical_occupancy(GTX480, md)
+        assert occ.ctas_per_sm == 3  # 48K / 16K
+        assert occ.limiting_resource == "shared_mem"
+
+    def test_cta_slot_limit(self):
+        md = KernelMetadata(regs_per_thread=4, threads_per_cta=64)
+        occ = theoretical_occupancy(GTX480, md)
+        assert occ.ctas_per_sm == GTX480.max_ctas_per_sm
+
+    def test_regs_override(self):
+        md = KernelMetadata(regs_per_thread=32, threads_per_cta=512)
+        occ = theoretical_occupancy(GTX480, md, regs_per_thread=20)
+        assert occ.ctas_per_sm == 3  # 20*512 = 10K -> 3 CTAs
+
+    def test_reserved_registers_shrink_pool(self):
+        md = KernelMetadata(regs_per_thread=32, threads_per_cta=512)
+        occ = theoretical_occupancy(GTX480, md, reserved_registers=16 * 1024)
+        assert occ.ctas_per_sm == 1
+
+    def test_granularity_override_matches_paper_example(self):
+        """§III-A2 worked example: |Bs|=18 on a 1536-thread-per-SM Fermi
+        yields full occupancy at granularity 1 (18*1536 = 27648 <= 32K)."""
+        md = KernelMetadata(regs_per_thread=24, threads_per_cta=256)
+        occ = theoretical_occupancy(GTX480, md, regs_per_thread=18, granularity=1)
+        assert occ.resident_warps == 48
+
+    def test_occupancy_fraction(self):
+        md = KernelMetadata(regs_per_thread=24, threads_per_cta=256)
+        occ = theoretical_occupancy(GTX480, md)
+        assert occ.resident_warps == 40  # 5 CTAs * 8 warps
+        assert occ.occupancy == pytest.approx(40 / 48)
+
+    @given(
+        st.integers(min_value=4, max_value=63),
+        st.sampled_from([64, 128, 192, 256, 384, 512]),
+    )
+    def test_monotone_in_register_demand(self, regs, threads):
+        md_small = KernelMetadata(regs_per_thread=regs, threads_per_cta=threads)
+        md_large = KernelMetadata(regs_per_thread=regs + 4, threads_per_cta=threads)
+        occ_small = theoretical_occupancy(GTX480, md_small)
+        occ_large = theoretical_occupancy(GTX480, md_large)
+        assert occ_small.resident_warps >= occ_large.resident_warps
+
+    @given(
+        st.integers(min_value=4, max_value=63),
+        st.sampled_from([64, 128, 256, 512]),
+        st.integers(min_value=0, max_value=48 * 1024),
+    )
+    def test_never_overcommits_resources(self, regs, threads, smem):
+        md = KernelMetadata(
+            regs_per_thread=regs, threads_per_cta=threads, shared_mem_per_cta=smem
+        )
+        occ = theoretical_occupancy(GTX480, md)
+        rounded = round_regs_to_granularity(regs, 4)
+        assert occ.ctas_per_sm * rounded * threads <= GTX480.registers_per_sm
+        assert occ.ctas_per_sm * threads <= GTX480.max_threads_per_sm
+        assert occ.ctas_per_sm * smem <= GTX480.shared_mem_per_sm
+        assert occ.resident_warps <= GTX480.max_warps_per_sm
+
+
+class TestRegisterLimited:
+    def test_register_limited_detection(self):
+        limited = KernelMetadata(regs_per_thread=32, threads_per_cta=512)
+        relaxed = KernelMetadata(regs_per_thread=8, threads_per_cta=256)
+        assert occupancy_limited_by_registers(GTX480, limited)
+        assert not occupancy_limited_by_registers(GTX480, relaxed)
+
+    def test_half_rf_flips_status(self):
+        md = KernelMetadata(regs_per_thread=16, threads_per_cta=256)
+        assert not occupancy_limited_by_registers(GTX480, md)
+        assert occupancy_limited_by_registers(
+            GTX480.with_half_register_file(), md
+        )

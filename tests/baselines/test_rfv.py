@@ -1,0 +1,139 @@
+"""Tests for the RFV (register file virtualization) baseline model."""
+
+import pytest
+
+from repro.arch.config import GTX480
+from repro.baselines.rfv import RfvSmState, RfvTechnique
+from repro.isa.builder import KernelBuilder
+from repro.sim.rand import DeterministicRng
+from repro.sim.stats import SmStats
+from repro.sim.technique import BaselineTechnique
+from repro.sim.warp import Warp
+from repro.workloads.suite import build_app_kernel, get_app
+
+
+def _kernel(regs=8):
+    b = KernelBuilder(regs_per_thread=regs, threads_per_cta=64)
+    for r in range(regs):
+        b.ldc(r)
+    for i in range(6):
+        b.alu(i % regs, (i + 1) % regs, (i + 2) % regs)
+    for r in range(1, regs):
+        b.alu(0, 0, r)
+    b.store(0, 0)
+    b.exit()
+    return b.build()
+
+
+def _state(kernel=None, pool=None, config=GTX480):
+    kernel = kernel or _kernel()
+    stats = SmStats()
+    state = RfvSmState(kernel, config, stats)
+    if pool is not None:
+        state.pool_capacity = pool
+        state.pool_free = pool
+    return state, stats
+
+
+def _warp(wid, kernel):
+    return Warp(wid, 0, kernel, DeterministicRng(wid))
+
+
+class TestRfvState:
+    def test_allocation_tracks_live_count(self):
+        kernel = _kernel()
+        state, _ = _state(kernel)
+        w = _warp(0, kernel)
+        state.on_issue(w, kernel[0], 0)
+        first = state._allocated[w.warp_id]
+        w.pc = 4
+        state.on_issue(w, kernel[4], 1)
+        assert state._allocated[w.warp_id] >= first
+
+    def test_deallocation_returns_to_pool(self):
+        kernel = _kernel()
+        state, _ = _state(kernel)
+        w = _warp(0, kernel)
+        w.pc = 4
+        state.on_issue(w, kernel[4], 0)
+        held = state._allocated[w.warp_id]
+        free_before = state.pool_free
+        # Move to the tail where pressure has collapsed.
+        w.pc = len(kernel) - 1
+        state.on_issue(w, kernel[w.pc], 1)
+        assert state.pool_free > free_before - held  # net regs returned
+
+    def test_exhausted_pool_blocks_non_holder(self):
+        kernel = _kernel()
+        state, _ = _state(kernel, pool=2)
+        w0, w1 = _warp(0, kernel), _warp(1, kernel)
+        w0.pc = 6
+        assert state.can_issue(w0, kernel[6], 0)  # takes the reserve
+        state.on_issue(w0, kernel[6], 0)
+        w1.pc = 6
+        assert not state.can_issue(w1, kernel[6], 1)
+
+    def test_reserve_grants_progress_on_empty_pool(self):
+        """Forward-progress reserve: one warp may always over-allocate."""
+        kernel = _kernel()
+        state, _ = _state(kernel, pool=2)
+        w0 = _warp(0, kernel)
+        w0.pc = 6
+        assert state.can_issue(w0, kernel[6], 0)
+
+    def test_reserve_released_at_barrier(self):
+        """The reserve must not sit on a barrier waiter (deadlock)."""
+        from repro.isa.builder import KernelBuilder
+        b = KernelBuilder(regs_per_thread=8, threads_per_cta=64)
+        for r in range(8):
+            b.ldc(r)
+        b.barrier()
+        for r in range(1, 8):
+            b.alu(0, 0, r)
+        b.store(0, 0)
+        b.exit()
+        kernel = b.build()
+        state, _ = _state(kernel, pool=2)
+        w0, w1 = _warp(0, kernel), _warp(1, kernel)
+        w0.pc = 6
+        assert state.can_issue(w0, kernel[6], 0)   # w0 takes the reserve
+        state.on_issue(w0, kernel[6], 0)
+        barrier_pc = next(pc for pc, i in enumerate(kernel) if i.is_barrier)
+        w0.pc = barrier_pc
+        state.on_issue(w0, kernel[barrier_pc], 1)  # issues BAR.SYNC
+        w1.pc = 6
+        assert state.can_issue(w1, kernel[6], 2)   # reserve handed over
+
+    def test_finish_returns_all(self):
+        kernel = _kernel()
+        state, _ = _state(kernel)
+        w = _warp(0, kernel)
+        w.pc = 5
+        state.on_issue(w, kernel[5], 0)
+        state.on_warp_finish(w, 10)
+        assert state.pool_free == state.pool_capacity
+
+    def test_peak_use_tracked(self):
+        kernel = _kernel()
+        state, _ = _state(kernel)
+        w = _warp(0, kernel)
+        w.pc = 6
+        state.on_issue(w, kernel[6], 0)
+        assert state.peak_pool_use > 0
+
+
+class TestRfvTechnique:
+    def test_occupancy_exceeds_baseline_on_limited_apps(self):
+        """Virtualized allocation packs CTAs by mean live demand, so a
+        register-limited kernel gains residency."""
+        for app in ("BFS", "SAD", "DWT2D"):
+            spec = get_app(app)
+            kernel = build_app_kernel(spec)
+            rfv_occ = RfvTechnique().occupancy(kernel, GTX480)
+            base_occ = BaselineTechnique().occupancy(kernel, GTX480)
+            assert rfv_occ.resident_warps >= base_occ.resident_warps
+
+    def test_kernel_unchanged(self):
+        spec = get_app("BFS")
+        kernel = build_app_kernel(spec)
+        assert RfvTechnique().prepare_kernel(kernel, GTX480) is kernel

@@ -1,0 +1,59 @@
+"""Tests for basic-block splitting."""
+
+import pytest
+
+from repro.cfg.basic_blocks import split_into_blocks
+from repro.isa.builder import KernelBuilder
+
+
+class TestSplitIntoBlocks:
+    def test_straightline_is_one_block(self, straight_kernel):
+        blocks = split_into_blocks(straight_kernel)
+        assert len(blocks) == 1
+        assert blocks[0].start == 0
+        assert blocks[0].end == len(straight_kernel)
+
+    def test_loop_produces_three_blocks(self, loop_kernel):
+        blocks = split_into_blocks(loop_kernel)
+        # preheader (defs), loop body, post-loop
+        assert len(blocks) == 3
+        head = loop_kernel.label_pc("head")
+        assert blocks[1].start == head
+
+    def test_blocks_cover_kernel_exactly(self, branch_kernel):
+        blocks = split_into_blocks(branch_kernel)
+        covered = []
+        for b in blocks:
+            covered.extend(b.pcs)
+        assert covered == list(range(len(branch_kernel)))
+
+    def test_block_indices_sequential(self, branch_kernel):
+        blocks = split_into_blocks(branch_kernel)
+        assert [b.index for b in blocks] == list(range(len(blocks)))
+
+    def test_branch_targets_are_leaders(self, branch_kernel):
+        blocks = split_into_blocks(branch_kernel)
+        starts = {b.start for b in blocks}
+        for inst in branch_kernel:
+            if inst.is_branch:
+                assert branch_kernel.label_pc(inst.target) in starts
+
+    def test_instruction_after_branch_is_leader(self, branch_kernel):
+        blocks = split_into_blocks(branch_kernel)
+        starts = {b.start for b in blocks}
+        for pc, inst in enumerate(branch_kernel):
+            if inst.is_branch and pc + 1 < len(branch_kernel):
+                assert pc + 1 in starts
+
+    def test_exit_mid_kernel_splits(self):
+        b = KernelBuilder(regs_per_thread=2)
+        b.ldc(0)
+        b.exit()
+        b.label("dead").ldc(1)
+        b.exit()
+        blocks = split_into_blocks(b.build())
+        assert len(blocks) == 2
+
+    def test_block_len(self, straight_kernel):
+        (block,) = split_into_blocks(straight_kernel)
+        assert len(block) == len(straight_kernel)

@@ -1,0 +1,114 @@
+"""Tests for dominator and post-dominator trees."""
+
+import pytest
+
+from repro.cfg.dominance import (
+    VIRTUAL_EXIT,
+    dominator_tree,
+    post_dominator_tree,
+)
+from repro.cfg.graph import build_cfg
+from repro.isa.builder import KernelBuilder
+from repro.workloads.suite import APPLICATIONS, build_app_kernel
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        dom = dominator_tree(cfg)
+        for b in cfg.blocks:
+            assert dom.dominates(cfg.entry, b.index)
+
+    def test_dominance_is_reflexive(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        dom = dominator_tree(cfg)
+        for b in cfg.blocks:
+            assert dom.dominates(b.index, b.index)
+
+    def test_arms_do_not_dominate_join(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        dom = dominator_tree(cfg)
+        join = cfg.block_of_pc(branch_kernel.label_pc("join")).index
+        then_blk, else_blk = cfg.successors[cfg.entry]
+        assert not dom.dominates(then_blk, join)
+        assert not dom.dominates(else_blk, join)
+
+    def test_idom_of_join_is_branch_block(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        dom = dominator_tree(cfg)
+        join = cfg.block_of_pc(branch_kernel.label_pc("join")).index
+        assert dom.immediate(join) == cfg.entry
+
+    def test_root_has_no_immediate(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        dom = dominator_tree(cfg)
+        assert dom.immediate(cfg.entry) is None
+
+    def test_loop_header_dominates_body(self, loop_kernel):
+        cfg = build_cfg(loop_kernel)
+        dom = dominator_tree(cfg)
+        head = cfg.block_of_pc(loop_kernel.label_pc("head")).index
+        post = cfg.block_of_pc(len(loop_kernel) - 1).index
+        assert dom.dominates(head, post)
+
+
+class TestPostDominators:
+    def test_virtual_exit_post_dominates_everything(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        pdom = post_dominator_tree(cfg)
+        for b in cfg.blocks:
+            assert pdom.dominates(VIRTUAL_EXIT, b.index)
+
+    def test_join_post_dominates_arms(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        pdom = post_dominator_tree(cfg)
+        join = cfg.block_of_pc(branch_kernel.label_pc("join")).index
+        for arm in cfg.successors[cfg.entry]:
+            assert pdom.dominates(join, arm)
+
+    def test_ipdom_of_branch_is_join(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        pdom = post_dominator_tree(cfg)
+        join = cfg.block_of_pc(branch_kernel.label_pc("join")).index
+        assert pdom.immediate(cfg.entry) == join
+
+    def test_multiple_exits_handled(self):
+        b = KernelBuilder(regs_per_thread=3)
+        b.ldc(0)
+        b.branch("alt", 0, taken_probability=0.5)
+        b.exit()
+        b.label("alt").ldc(1)
+        b.exit()
+        cfg = build_cfg(b.build())
+        pdom = post_dominator_tree(cfg)
+        # Neither exit block post-dominates the entry; only VIRTUAL_EXIT does.
+        assert pdom.immediate(cfg.entry) == VIRTUAL_EXIT
+
+    @pytest.mark.parametrize("app", sorted(APPLICATIONS)[:4])
+    def test_suite_kernels_have_consistent_trees(self, app):
+        kernel = build_app_kernel(APPLICATIONS[app])
+        cfg = build_cfg(kernel)
+        dom = dominator_tree(cfg)
+        pdom = post_dominator_tree(cfg)
+        for b in cfg.blocks:
+            assert dom.dominates(cfg.entry, b.index)
+            assert pdom.dominates(VIRTUAL_EXIT, b.index)
+
+
+class TestDominatorChains:
+    def test_dominators_of_walks_to_root(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        dom = dominator_tree(cfg)
+        join = cfg.block_of_pc(branch_kernel.label_pc("join")).index
+        chain = dom.dominators_of(join)
+        assert chain[0] == join
+        assert chain[-1] == cfg.entry
+        # Every element dominates the previous one.
+        for closer, further in zip(chain, chain[1:]):
+            assert dom.dominates(further, closer)
+
+    def test_post_dominator_chain_reaches_virtual_exit(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        pdom = post_dominator_tree(cfg)
+        chain = pdom.dominators_of(cfg.entry)
+        assert chain[-1] == VIRTUAL_EXIT

@@ -1,0 +1,83 @@
+"""Tests for CFG construction."""
+
+import pytest
+
+from repro.cfg.graph import build_cfg
+from repro.isa.builder import KernelBuilder
+from repro.workloads.suite import APPLICATIONS, build_app_kernel
+
+
+class TestBuildCfg:
+    def test_straightline(self, straight_kernel):
+        cfg = build_cfg(straight_kernel)
+        assert len(cfg.blocks) == 1
+        assert cfg.successors[0] == ()
+        assert cfg.exit_blocks() == (0,)
+
+    def test_loop_back_edge(self, loop_kernel):
+        cfg = build_cfg(loop_kernel)
+        body = cfg.block_of_pc(loop_kernel.label_pc("head")).index
+        assert body in cfg.successors[body]  # self-loop
+
+    def test_diamond_shape(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        entry = cfg.entry
+        succs = cfg.successors[entry]
+        assert len(succs) == 2  # then + else
+        join = cfg.block_of_pc(branch_kernel.label_pc("join")).index
+        for arm in succs:
+            assert join in cfg.successors[arm]
+
+    def test_predecessors_inverse_of_successors(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        for src, dsts in cfg.successors.items():
+            for dst in dsts:
+                assert src in cfg.predecessors[dst]
+        for dst, srcs in cfg.predecessors.items():
+            for src in srcs:
+                assert dst in cfg.successors[src]
+
+    def test_block_of_pc_covers_all(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        for pc in range(len(branch_kernel)):
+            block = cfg.block_of_pc(pc)
+            assert block.start <= pc < block.end
+
+    def test_block_of_pc_out_of_range(self, straight_kernel):
+        cfg = build_cfg(straight_kernel)
+        with pytest.raises(IndexError):
+            cfg.block_of_pc(len(straight_kernel))
+
+    def test_reverse_post_order_starts_at_entry(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        order = cfg.reverse_post_order()
+        assert order[0] == cfg.entry
+        assert sorted(order) == [b.index for b in cfg.blocks]
+
+    def test_rpo_visits_predecessors_first_in_dags(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        pos = {b: i for i, b in enumerate(cfg.reverse_post_order())}
+        for src, dsts in cfg.successors.items():
+            for dst in dsts:
+                if dst != src and pos[dst] < pos[src]:
+                    # only back edges may go "up" in RPO; the diamond has none
+                    pytest.fail(f"forward edge {src}->{dst} inverted in RPO")
+
+    def test_conditional_fallthrough_ordering(self):
+        # Not-taken successor must come first (used by divergence logic).
+        b = KernelBuilder(regs_per_thread=2)
+        b.ldc(0)
+        b.branch("skip", 0, taken_probability=0.5)
+        b.ldc(1)
+        b.label("skip").exit()
+        cfg = build_cfg(b.build())
+        succs = cfg.successors[cfg.entry]
+        assert cfg.blocks[succs[0]].start == 2  # fall-through first
+
+    @pytest.mark.parametrize("app", sorted(APPLICATIONS))
+    def test_suite_kernels_build_connected_cfgs(self, app):
+        kernel = build_app_kernel(APPLICATIONS[app])
+        cfg = build_cfg(kernel)
+        order = cfg.reverse_post_order()
+        assert len(order) == len(cfg.blocks)
+        assert cfg.exit_blocks(), "kernel must reach EXIT"

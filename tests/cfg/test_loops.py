@@ -1,0 +1,61 @@
+"""Tests for natural-loop detection."""
+
+from repro.cfg.graph import build_cfg
+from repro.cfg.loops import find_natural_loops, loop_nesting_depth
+from repro.isa.builder import KernelBuilder
+
+
+def nested_loop_kernel():
+    b = KernelBuilder(regs_per_thread=6)
+    for r in range(4):
+        b.ldc(r)
+    b.label("outer")
+    b.alu(1, 0)
+    b.label("inner")
+    b.alu(2, 1)
+    b.setp(3, 2, 1)
+    b.branch("inner", 3, trip_count=2)
+    b.setp(3, 1, 0)
+    b.branch("outer", 3, trip_count=2)
+    b.exit()
+    return b.build()
+
+
+class TestNaturalLoops:
+    def test_straightline_has_no_loops(self, straight_kernel):
+        assert find_natural_loops(build_cfg(straight_kernel)) == []
+
+    def test_single_loop(self, loop_kernel):
+        cfg = build_cfg(loop_kernel)
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 1
+        head = cfg.block_of_pc(loop_kernel.label_pc("head")).index
+        assert loops[0].header == head
+        assert head in loops[0]
+
+    def test_nested_loops(self):
+        kernel = nested_loop_kernel()
+        cfg = build_cfg(kernel)
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 2
+        inner_head = cfg.block_of_pc(kernel.label_pc("inner")).index
+        outer_head = cfg.block_of_pc(kernel.label_pc("outer")).index
+        by_header = {l.header: l for l in loops}
+        # The inner loop body is contained in the outer loop body.
+        assert by_header[inner_head].body <= by_header[outer_head].body
+
+    def test_nesting_depth(self):
+        kernel = nested_loop_kernel()
+        cfg = build_cfg(kernel)
+        depth = loop_nesting_depth(cfg)
+        inner_head = cfg.block_of_pc(kernel.label_pc("inner")).index
+        outer_head = cfg.block_of_pc(kernel.label_pc("outer")).index
+        exit_block = cfg.block_of_pc(len(kernel) - 1).index
+        assert depth[inner_head] == 2
+        assert depth[outer_head] == 1
+        assert depth[exit_block] == 0
+
+    def test_loop_size(self, loop_kernel):
+        cfg = build_cfg(loop_kernel)
+        (loop,) = find_natural_loops(cfg)
+        assert loop.size == len(loop.body)

@@ -1,0 +1,168 @@
+"""Tests for primitive injection and region normalization."""
+
+import pytest
+
+from repro.compiler.acquire_release import (
+    inject_primitives,
+    normalize_region,
+    _offending_edges,
+)
+from repro.compiler.regions import AcquireRegion, find_acquire_regions
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Opcode
+from repro.workloads.suite import APPLICATIONS, build_app_kernel
+from tests.compiler.test_regions import spike_kernel
+
+
+def _walk_check_pairing(kernel, max_steps=50_000):
+    """Single-thread walk asserting acquire/release are well-paired along
+    the dynamic path (re-acquires/re-releases are no-ops but must never
+    leave the warp holding a set at EXIT... unless EXIT reclaims)."""
+    held = False
+    acquires = releases = 0
+    pc = 0
+    trips = {}
+    steps = 0
+    while pc < len(kernel):
+        steps += 1
+        assert steps < max_steps, "walk did not terminate"
+        inst = kernel[pc]
+        if inst.opcode is Opcode.ACQUIRE:
+            if not held:
+                acquires += 1
+            held = True
+        elif inst.opcode is Opcode.RELEASE:
+            if held:
+                releases += 1
+            held = False
+        if inst.is_exit:
+            break
+        if inst.is_branch:
+            if inst.is_conditional_branch:
+                remaining = trips.get(pc, inst.trip_count or 0)
+                if remaining > 0:
+                    trips[pc] = remaining - 1
+                    pc = kernel.label_pc(inst.target)
+                    continue
+                trips[pc] = inst.trip_count or 0
+                pc += 1
+                continue
+            pc = kernel.label_pc(inst.target)
+            continue
+        pc += 1
+    return acquires, releases, held
+
+
+class TestNormalization:
+    def test_straightline_region_unchanged(self):
+        k = spike_kernel()
+        regions = find_acquire_regions(k, 6)
+        (region,) = regions
+        assert normalize_region(k, region) == region
+
+    def test_region_with_backedge_grows_to_loop(self):
+        """A region covering part of a loop body must grow to contain the
+        whole loop (the back edge would otherwise escape it)."""
+        b = KernelBuilder(regs_per_thread=8)
+        for r in range(8):
+            b.ldc(r)
+        b.label("head")
+        for i in range(4):
+            b.alu(i % 8, (i + 1) % 8, (i + 2) % 8)
+        b.setp(0, 0, 1)
+        b.branch("head", 0, trip_count=3)
+        b.store(0, 0)
+        b.exit()
+        k = b.build()
+        head = k.label_pc("head")
+        branch_pc = next(
+            pc for pc, i in enumerate(k) if i.is_conditional_branch
+        )
+        # A region containing the back edge but not the header: the back
+        # edge escapes it, so it must grow to swallow the whole loop.
+        region = AcquireRegion(head + 2, branch_pc + 1)
+        grown = normalize_region(k, region)
+        assert grown.start <= head
+        assert grown.end > branch_pc
+        assert _offending_edges(k, grown) == []
+
+    def test_interior_straightline_region_needs_no_growth(self):
+        """A straight-line region strictly inside a loop body is already
+        single-entry/single-exit: acquire and release simply execute once
+        per iteration."""
+        b = KernelBuilder(regs_per_thread=8)
+        for r in range(8):
+            b.ldc(r)
+        b.label("head")
+        for i in range(4):
+            b.alu(i % 8, (i + 1) % 8, (i + 2) % 8)
+        b.setp(0, 0, 1)
+        b.branch("head", 0, trip_count=3)
+        b.store(0, 0)
+        b.exit()
+        k = b.build()
+        head = k.label_pc("head")
+        region = AcquireRegion(head + 1, head + 3)
+        assert normalize_region(k, region) == region
+
+    def test_no_offending_edges_after_normalization(self):
+        for app in ("BFS", "CUTCP", "ParticleFilter", "SRAD"):
+            spec = APPLICATIONS[app]
+            k = build_app_kernel(spec)
+            for region in find_acquire_regions(k, spec.expected_bs):
+                grown = normalize_region(k, region)
+                assert _offending_edges(k, grown) == []
+
+
+class TestInjection:
+    def test_empty_regions_no_change(self):
+        k = spike_kernel()
+        result = inject_primitives(k, [])
+        assert result.kernel is k
+
+    def test_acquire_release_inserted(self):
+        k = spike_kernel()
+        regions = find_acquire_regions(k, 6)
+        result = inject_primitives(k, regions)
+        ops = [i.opcode for i in result.kernel]
+        assert ops.count(Opcode.ACQUIRE) == 1
+        assert ops.count(Opcode.RELEASE) == 1
+        acq, rel = ops.index(Opcode.ACQUIRE), ops.index(Opcode.RELEASE)
+        assert acq < rel
+
+    def test_all_other_instructions_preserved_in_order(self):
+        k = spike_kernel()
+        result = inject_primitives(k, find_acquire_regions(k, 6))
+        originals = [i for i in result.kernel if not i.is_regmutex]
+        import dataclasses
+        stripped = [dataclasses.replace(i, label=None) for i in originals]
+        expected = [dataclasses.replace(i, label=None) for i in k]
+        assert stripped == expected
+
+    def test_labels_preserved_or_moved_to_primitives(self):
+        for app in ("BFS", "SAD"):
+            spec = APPLICATIONS[app]
+            k = build_app_kernel(spec)
+            result = inject_primitives(
+                k, find_acquire_regions(k, spec.expected_bs)
+            )
+            assert set(result.kernel.labels) == set(k.labels)
+
+    def test_dynamic_pairing_on_suite_apps(self):
+        for app in ("BFS", "CUTCP", "SAD", "SRAD", "ParticleFilter"):
+            spec = APPLICATIONS[app]
+            k = build_app_kernel(spec)
+            result = inject_primitives(
+                k, find_acquire_regions(k, spec.expected_bs)
+            )
+            acquires, releases, held = _walk_check_pairing(result.kernel)
+            assert acquires > 0
+            assert acquires == releases + (1 if held else 0)
+
+    def test_acquire_pcs_point_at_acquires(self):
+        k = spike_kernel()
+        result = inject_primitives(k, find_acquire_regions(k, 6))
+        for pc in result.acquire_pcs:
+            assert result.kernel[pc].opcode is Opcode.ACQUIRE
+        for pc in result.release_pcs:
+            assert result.kernel[pc].opcode is Opcode.RELEASE

@@ -1,0 +1,101 @@
+"""Tests for extended-index access coverage (region widening)."""
+
+import pytest
+
+from repro.compiler.regions import (
+    AcquireRegion,
+    cover_extended_defs,
+    find_acquire_regions,
+)
+from repro.isa.builder import KernelBuilder
+
+
+def ramp_kernel():
+    """An extended-index register (R9) is *defined* early, while the live
+    count is far below the threshold — the count-based region cannot see
+    it, but the write physically needs a held section."""
+    b = KernelBuilder(regs_per_thread=10, threads_per_cta=64)
+    b.ldc(0)
+    b.ldc(9)            # count 2: extended def far outside the region
+    b.ldc(1)
+    b.alu(1, 0, 1)
+    b.alu(0, 0, 1)
+    for r in range(2, 9):
+        b.ldc(r)        # pressure climbs past the threshold here
+    for i in range(4):
+        b.alu(5 + i % 4, (i + 1) % 10, 9)
+    for r in range(1, 10):
+        b.alu(0, 0, r)
+    b.store(0, 0)
+    b.exit()
+    return b.build()
+
+
+class TestCoverExtendedDefs:
+    def test_ramp_def_pulled_into_region(self):
+        k = ramp_kernel()
+        regions = find_acquire_regions(k, base_set_size=6)
+        (region,) = regions
+        # Every def of an index >= 6 is inside the region.
+        for pc, inst in enumerate(k):
+            if any(r >= 6 for r in inst.dsts):
+                assert region.start <= pc < region.end, f"pc {pc} uncovered"
+
+    def test_without_coverage_ramp_is_outside(self):
+        k = ramp_kernel()
+        regions = find_acquire_regions(
+            k, base_set_size=6, cover_extended_accesses=False
+        )
+        (region,) = regions
+        first_ext_def = next(
+            pc for pc, i in enumerate(k) if any(r >= 6 for r in i.dsts)
+        )
+        assert first_ext_def < region.start  # the unsafe raw shape
+
+    def test_trailing_def_extends_end(self):
+        b = KernelBuilder(regs_per_thread=10, threads_per_cta=64)
+        for r in range(10):
+            b.ldc(r)
+        for i in range(4):
+            b.alu(6 + i % 4, (i + 1) % 10, (i + 2) % 10)
+        for r in range(1, 10):
+            b.alu(0, 0, r)   # pressure collapses
+        b.ldc(9)             # late extended def, low count here
+        b.alu(0, 0, 9)
+        b.store(0, 0)
+        b.exit()
+        k = b.build()
+        regions = find_acquire_regions(k, base_set_size=6)
+        late_def = max(
+            pc for pc, i in enumerate(k) if any(r >= 6 for r in i.dsts)
+        )
+        assert any(r.start <= late_def < r.end for r in regions)
+
+    def test_trailing_use_left_to_compaction(self):
+        """A trailing *use* must not widen the region (compaction moves
+        the value instead)."""
+        b = KernelBuilder(regs_per_thread=10, threads_per_cta=64)
+        for r in range(10):
+            b.ldc(r)
+        for i in range(4):
+            b.alu(6 + i % 4, (i + 1) % 10, (i + 2) % 10)
+        for r in range(1, 9):
+            b.alu(0, 0, r)
+        b.alu(2, 2, 9)       # use of R9 after pressure collapsed
+        b.store(0, 2)
+        b.exit()
+        k = b.build()
+        regions = find_acquire_regions(k, base_set_size=6)
+        use_pc = len(k) - 3
+        assert all(not (r.start <= use_pc < r.end) for r in regions)
+
+    def test_no_regions_returns_empty(self):
+        b = KernelBuilder(regs_per_thread=4, threads_per_cta=64)
+        b.ldc(0).ldc(1).alu(0, 1).exit()
+        assert cover_extended_defs(b.build(), [], base_set_size=4) == []
+
+    def test_idempotent(self):
+        k = ramp_kernel()
+        regions = find_acquire_regions(k, base_set_size=6)
+        again = cover_extended_defs(k, regions, base_set_size=6)
+        assert again == regions

@@ -1,0 +1,167 @@
+"""Tests for the |Es| selection heuristic (§III-A2)."""
+
+import pytest
+
+from repro.arch.config import GTX480, GTX480_HALF_RF
+from repro.compiler.es_selection import (
+    candidate_es_sizes,
+    select_extended_set_size,
+    _round_to_even,
+)
+from repro.isa.builder import KernelBuilder
+from repro.workloads.suite import APPLICATIONS, build_app_kernel
+
+
+class TestRoundToEven:
+    @pytest.mark.parametrize("value,expected", [
+        (2.4, 2), (3.6, 4), (4.8, 4), (6.0, 6), (7.2, 8), (8.4, 8),
+        (7.0, 8),   # exact odd: halves round up
+        (1.2, 2), (11.2, 12), (9.6, 10),
+    ])
+    def test_examples(self, value, expected):
+        assert _round_to_even(value) == expected
+
+
+class TestCandidates:
+    def test_paper_worked_example(self):
+        """R=24: 24 * {0.1..0.35} rounded to even = {2, 4, 6, 8}."""
+        assert candidate_es_sizes(24) == [2, 4, 6, 8]
+
+    @pytest.mark.parametrize("rounded,expected_member", [
+        (24, 6),   # BFS / MRI-Q
+        (28, 8),   # CUTCP / HeartWall / TPACF
+        (44, 6),   # DWT2D
+        (32, 8),   # HotSpot3D
+        (32, 12),  # ParticleFilter / SAD
+        (12, 4),   # Gaussian
+        (16, 4),   # MergeSort / MonteCarlo / SPMV
+        (20, 8),   # SRAD
+        (40, 12),  # LavaMD
+        (36, 6),   # RadixSort
+    ])
+    def test_table1_splits_are_candidates(self, rounded, expected_member):
+        assert expected_member in candidate_es_sizes(rounded)
+
+    def test_all_candidates_even_and_in_range(self):
+        for rounded in range(8, 64, 4):
+            for es in candidate_es_sizes(rounded):
+                assert es % 2 == 0
+                assert 0 < es < rounded
+
+
+def _pressure_kernel(regs=24, threads=256, peak_len=20):
+    """A kernel with a clear low/high pressure split for heuristic tests."""
+    b = KernelBuilder(regs_per_thread=regs, threads_per_cta=threads)
+    for r in range(8):
+        b.ldc(r)
+    for i in range(10):
+        b.alu(2 + i % 6, 0, 1)
+    for r in range(8, regs):
+        b.ldc(r)
+    for i in range(peak_len):
+        b.op_list = None
+        b.alu(8 + i % (regs - 8), (i + 1) % regs, (i + 2) % regs)
+    # Final uses keep the high registers alive through the peak.
+    for r in range(8, regs):
+        b.alu(0, 0, r, opcode=__import__("repro.isa.instructions",
+                                          fromlist=["Opcode"]).Opcode.FADD)
+    b.store(0, 0)
+    b.exit()
+    return b.build()
+
+
+class TestWorkedExample:
+    def test_paper_section3a2_example(self):
+        """R=24 on Fermi, register usage the only limit: the heuristic must
+        pick |Es|=6 (|Bs|=18, 26 SRP sections) as in the paper's text."""
+        kernel = _pressure_kernel(regs=24, threads=256)
+        # threads=256: 24 regs -> 5 CTAs (register-limited since thread
+        # cap is 6); mirrors the paper's full-occupancy arithmetic.
+        sel = select_extended_set_size(kernel, GTX480)
+        assert sel.extended_set_size == 6
+        assert sel.base_set_size == 18
+        assert sel.srp_sections == 26
+        assert sel.occupancy_warps == 48
+
+
+class TestForcedEs:
+    def test_forced_split_validated(self):
+        kernel = _pressure_kernel()
+        sel = select_extended_set_size(kernel, GTX480, forced_es=8)
+        assert sel.extended_set_size == 8
+        assert sel.base_set_size == 16
+
+    def test_forced_zero_disables(self):
+        kernel = _pressure_kernel()
+        sel = select_extended_set_size(kernel, GTX480, forced_es=0)
+        assert not sel.uses_regmutex
+
+    def test_forced_too_large_rejected(self):
+        kernel = _pressure_kernel()
+        with pytest.raises(ValueError):
+            select_extended_set_size(kernel, GTX480, forced_es=24)
+
+
+class TestDeadlockRules:
+    def test_rule1_at_least_one_section(self):
+        """A forced split whose SRP cannot hold one section must fall back
+        to |Es| = 0."""
+        kernel = _pressure_kernel(regs=24, threads=256)
+        # Tiny register file: |Bs| packing leaves nothing for the SRP.
+        from repro.arch.config import fermi_like
+        tight = fermi_like(registers_per_sm=18 * 48 * 32)  # exactly the bases
+        sel = select_extended_set_size(kernel, tight, forced_es=6)
+        assert not sel.uses_regmutex
+        assert "deadlock rule 1" in sel.reason
+
+    def test_rule2_barrier_floor(self):
+        """|Bs| below the live count at a barrier is rejected."""
+        b = KernelBuilder(regs_per_thread=24, threads_per_cta=256)
+        for r in range(22):
+            b.ldc(r)
+        b.barrier()                      # 22 live across the barrier
+        for r in range(22):
+            b.alu(0, 0, r)
+        for r in range(22, 24):
+            b.ldc(r)
+        b.alu(0, 22, 23)
+        b.store(0, 0)
+        b.exit()
+        sel = select_extended_set_size(b.build(), GTX480, forced_es=6)
+        # |Bs| = 18 < 22 live at the barrier -> rejected.
+        assert not sel.uses_regmutex
+        assert "deadlock rule 2" in sel.reason
+
+
+class TestNotRegisterLimited:
+    def test_relaxed_kernel_untouched(self):
+        kernel = _pressure_kernel(regs=12, threads=128)
+        sel = select_extended_set_size(kernel, GTX480)
+        assert not sel.uses_regmutex
+        assert "not limited" in sel.reason
+
+
+class TestTable1Agreement:
+    @pytest.mark.parametrize(
+        "app", [a for a, s in APPLICATIONS.items() if s.heuristic_matches]
+    )
+    def test_heuristic_reproduces_table1(self, app):
+        spec = APPLICATIONS[app]
+        kernel = build_app_kernel(spec)
+        config = GTX480 if spec.group == "occupancy-limited" else GTX480_HALF_RF
+        sel = select_extended_set_size(kernel, config)
+        assert sel.extended_set_size == spec.expected_es
+        assert sel.base_set_size == spec.expected_bs
+
+    @pytest.mark.parametrize(
+        "app", [a for a, s in APPLICATIONS.items() if not s.heuristic_matches]
+    )
+    def test_forced_table1_split_is_viable(self, app):
+        """Even where the heuristic disagrees (unknown launch geometry),
+        Table I's split must pass both deadlock rules."""
+        spec = APPLICATIONS[app]
+        kernel = build_app_kernel(spec)
+        config = GTX480 if spec.group == "occupancy-limited" else GTX480_HALF_RF
+        sel = select_extended_set_size(kernel, config, forced_es=spec.expected_es)
+        assert sel.uses_regmutex
+        assert sel.srp_sections >= 1

@@ -1,0 +1,95 @@
+"""Tests for acquire-region discovery."""
+
+import pytest
+
+from repro.compiler.regions import AcquireRegion, find_acquire_regions
+from repro.isa.builder import KernelBuilder
+from repro.liveness.liveness import analyze_liveness
+from repro.workloads.suite import APPLICATIONS, build_app_kernel
+
+
+def spike_kernel(low=4, high=10, spike_len=6):
+    """low pressure, one high-pressure spike, low pressure again."""
+    b = KernelBuilder(regs_per_thread=high)
+    for r in range(low):
+        b.ldc(r)
+    for i in range(5):
+        b.alu(1 + i % (low - 1), 0, 1)
+    for r in range(low, high):
+        b.ldc(r)
+    for i in range(spike_len):
+        b.alu(low + i % (high - low), (i + 1) % high, (i + 2) % high)
+    for r in range(low, high):  # reduce: last uses
+        b.alu(0, 0, r)
+    for i in range(5):
+        b.alu(1 + i % (low - 1), 0, 1)
+    b.store(0, 0)
+    b.exit()
+    return b.build()
+
+
+class TestAcquireRegion:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AcquireRegion(5, 5)
+
+    def test_overlaps(self):
+        assert AcquireRegion(0, 5).overlaps(AcquireRegion(4, 8))
+        assert not AcquireRegion(0, 5).overlaps(AcquireRegion(5, 8))
+
+
+class TestFindAcquireRegions:
+    def test_no_region_when_pressure_below_bs(self):
+        k = spike_kernel(low=4, high=10)
+        assert find_acquire_regions(k, base_set_size=12) == []
+
+    def test_single_spike_found(self):
+        k = spike_kernel(low=4, high=10)
+        regions = find_acquire_regions(k, base_set_size=6)
+        assert len(regions) == 1
+        (region,) = regions
+        info = analyze_liveness(k)
+        # Every PC above the threshold is inside the region.
+        for pc, count in enumerate(info.live_count):
+            if count > 6:
+                assert region.start <= pc < region.end
+
+    def test_close_regions_merged(self):
+        """Two spikes separated by fewer than merge_gap instructions fuse."""
+        b = KernelBuilder(regs_per_thread=10)
+        for r in range(10):
+            b.ldc(r)
+        for i in range(4):
+            b.alu(i % 10, (i + 1) % 10, (i + 2) % 10)
+        # Brief dip: reduce to 4 regs, then redefine immediately.
+        for r in range(4, 10):
+            b.alu(0, 0, r)
+        for r in range(4, 10):
+            b.ldc(r)
+        for i in range(4):
+            b.alu(i % 10, (i + 1) % 10, (i + 2) % 10)
+        for r in range(1, 10):
+            b.alu(0, 0, r)
+        b.store(0, 0)
+        b.exit()
+        k = b.build()
+        merged = find_acquire_regions(k, base_set_size=6, merge_gap=8)
+        separate = find_acquire_regions(k, base_set_size=6, merge_gap=0)
+        assert len(merged) <= len(separate)
+        assert len(merged) == 1
+
+    def test_regions_disjoint_and_sorted(self):
+        for app in ("BFS", "SAD", "CUTCP"):
+            spec = APPLICATIONS[app]
+            k = build_app_kernel(spec)
+            regions = find_acquire_regions(k, spec.expected_bs)
+            for a, b2 in zip(regions, regions[1:]):
+                assert a.end <= b2.start
+
+    @pytest.mark.parametrize("app", sorted(APPLICATIONS))
+    def test_suite_apps_have_regions_at_table1_bs(self, app):
+        """Every app's pressure must exceed its |Bs| somewhere — otherwise
+        RegMutex would be a no-op on it, contradicting the paper."""
+        spec = APPLICATIONS[app]
+        k = build_app_kernel(spec)
+        assert find_acquire_regions(k, spec.expected_bs)

@@ -1,0 +1,71 @@
+"""Tests for the register-file energy model."""
+
+import pytest
+
+from repro.arch.config import GTX480, GTX480_HALF_RF
+from repro.energy.model import (
+    EnergyBreakdown,
+    EnergyParams,
+    compare_energy,
+    estimate_register_file_energy,
+)
+from repro.harness.runner import RunRecord
+
+
+def _record(cycles=100_000, issued=500_000):
+    return RunRecord(
+        kernel_name="k", config_name="c", technique="t", cycles=cycles,
+        ctas_total=10, ctas_per_sm_resident=2, cycles_per_cta=1.0,
+        theoretical_occupancy=0.5, acquire_attempts=0, acquire_successes=0,
+        release_count=0, instructions_issued=issued,
+        stall_acquire=0, stall_memory=0,
+    )
+
+
+class TestEnergyModel:
+    def test_dynamic_scales_with_instructions(self):
+        small = estimate_register_file_energy(_record(issued=100), GTX480)
+        large = estimate_register_file_energy(_record(issued=200), GTX480)
+        assert large.dynamic == pytest.approx(2 * small.dynamic)
+
+    def test_static_scales_with_cycles(self):
+        short = estimate_register_file_energy(_record(cycles=100), GTX480)
+        long = estimate_register_file_energy(_record(cycles=300), GTX480)
+        assert long.static == pytest.approx(3 * short.static)
+
+    def test_half_file_leaks_half(self):
+        full = estimate_register_file_energy(_record(), GTX480)
+        half = estimate_register_file_energy(_record(), GTX480_HALF_RF)
+        assert half.static == pytest.approx(full.static / 2)
+
+    def test_half_file_cheaper_per_access(self):
+        full = estimate_register_file_energy(_record(), GTX480)
+        half = estimate_register_file_energy(_record(), GTX480_HALF_RF)
+        assert half.dynamic < full.dynamic
+
+    def test_compare_energy_keys(self):
+        full = estimate_register_file_energy(_record(), GTX480)
+        half = estimate_register_file_energy(_record(), GTX480_HALF_RF)
+        deltas = compare_energy(full, half)
+        assert set(deltas) == {"dynamic", "static", "total"}
+        assert deltas["static"] == pytest.approx(-0.5)
+        assert deltas["total"] < 0
+
+    def test_slower_half_file_can_lose(self):
+        """Leakage integrates over time: a half file that doubles runtime
+        can erase the savings — the effect RegMutex prevents."""
+        full = estimate_register_file_energy(_record(cycles=100_000), GTX480)
+        slow_half = estimate_register_file_energy(
+            _record(cycles=320_000), GTX480_HALF_RF
+        )
+        fast_half = estimate_register_file_energy(
+            _record(cycles=110_000), GTX480_HALF_RF
+        )
+        assert fast_half.static < full.static
+        assert slow_half.static > full.static
+
+    def test_params_override(self):
+        params = EnergyParams(leak_per_cell_cycle=0.0)
+        e = estimate_register_file_energy(_record(), GTX480, params)
+        assert e.static == 0.0
+        assert e.total == e.dynamic

@@ -1,0 +1,48 @@
+"""Smoke tests for the runnable examples (the simulation-free ones plus
+the geometry tuner; the simulator-heavy examples are covered by the
+benchmark suite's cached runs)."""
+
+import subprocess
+import sys
+import os
+
+import pytest
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO, "examples", script), *args],
+        capture_output=True, text=True, timeout=600, cwd=REPO,
+    )
+
+
+class TestExamples:
+    def test_liveness_profile(self):
+        proc = _run("liveness_profile.py", "SAD")
+        assert proc.returncode == 0, proc.stderr
+        assert "SAD" in proc.stdout
+        assert "mean utilization" in proc.stdout
+
+    def test_custom_kernel(self):
+        proc = _run("custom_kernel.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "heuristic picked" in proc.stdout
+        assert "REGMUTEX.ACQUIRE" in proc.stdout
+
+    def test_occupancy_explorer(self):
+        proc = _run("occupancy_explorer.py", "BFS")
+        assert proc.returncode == 0, proc.stderr
+        assert "candidate splits" in proc.stdout
+        assert "|Es|=6" in proc.stdout
+
+    def test_occupancy_explorer_newer_arch(self):
+        proc = _run("occupancy_explorer.py", "SAD", "--arch", "volta")
+        assert proc.returncode == 0, proc.stderr
+        assert "Volta-like" in proc.stdout
+
+    def test_tune_suite(self):
+        proc = _run("tune_suite.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "All 16 applications reproduce Table I." in proc.stdout

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface (cheap commands only; the
+figure commands are exercised by the benchmark suite)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS" in out and "fig7" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "DWT2D" in out
+        assert "38" in out  # DWT2D's |Bs|
+
+    def test_storage(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "384" in out
+        assert "31264" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "CUTCP" in out and "|" in out
+
+    def test_fig1_app_subset(self, capsys):
+        assert main(["fig1", "--apps", "SAD"]) == 0
+        out = capsys.readouterr().out
+        assert "SAD" in out and "CUTCP" not in out
+
+    def test_bad_app_rejected(self):
+        with pytest.raises(KeyError):
+            main(["fig1", "--apps", "NopeApp"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_run_requires_known_app(self):
+        with pytest.raises(SystemExit):
+            main(["run", "NopeApp"])
+
+    def test_run_single_app(self, capsys, tmp_path):
+        # Mini end-to-end through the CLI; uses the real GTX480 but the
+        # smallest app and the cache keeps re-runs free.
+        assert main([
+            "--cache", str(tmp_path / "c.json"),
+            "run", "Gaussian", "--technique", "baseline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cycles/CTA" in out
+        assert "Gaussian" in out

@@ -1,0 +1,64 @@
+"""Tests for CSV export of experiment rows."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.export import read_csv_rows, rows_to_csv
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeRow:
+    app: str
+    value: float
+    flag: bool
+    series: tuple[float, ...] = ()
+
+
+class TestRowsToCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            FakeRow("BFS", 0.254, True, (0.5, 0.75)),
+            FakeRow("SAD", 0.078, False, ()),
+        ]
+        path = str(tmp_path / "out.csv")
+        header = rows_to_csv(rows, path)
+        assert header == ["app", "value", "flag", "series"]
+        back = read_csv_rows(path)
+        assert back[0]["app"] == "BFS"
+        assert float(back[0]["value"]) == pytest.approx(0.254)
+        assert back[0]["flag"] == "1"
+        assert back[0]["series"] == "0.5;0.75"
+        assert back[1]["flag"] == "0"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv([], str(tmp_path / "x.csv"))
+
+    def test_non_dataclass_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            rows_to_csv([{"a": 1}], str(tmp_path / "x.csv"))
+
+    def test_mixed_types_rejected(self, tmp_path):
+        @dataclasses.dataclass(frozen=True)
+        class Other:
+            x: int
+
+        with pytest.raises(TypeError, match="mixed"):
+            rows_to_csv([FakeRow("a", 1.0, True), Other(1)],
+                        str(tmp_path / "x.csv"))
+
+    def test_real_experiment_rows_export(self, tmp_path):
+        from repro.harness.experiments import fig1_liveness_traces
+        rows = fig1_liveness_traces(apps=("SAD",))
+        path = str(tmp_path / "fig1.csv")
+        rows_to_csv(rows, path)
+        back = read_csv_rows(path)
+        assert back[0]["app"] == "SAD"
+        assert ";" in back[0]["utilization_series"]
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = str(tmp_path / "fig1.csv")
+        assert main(["fig1", "--apps", "SAD", "--csv", path]) == 0
+        assert read_csv_rows(path)

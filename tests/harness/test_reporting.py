@@ -1,0 +1,53 @@
+"""Tests for ASCII reporting helpers."""
+
+from repro.harness.reporting import format_percent_series, format_table, percent
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"],
+            [["short", 1.23456], ["a-much-longer-name", 7]],
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        # All rows padded to the widest cell.
+        assert "a-much-longer-name" in lines[3]
+        assert "1.235" in lines[2]  # floats at 3 decimals
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+        assert out.splitlines()[1] == "======="
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestPercentSeries:
+    def test_bar_length_capped(self):
+        out = format_percent_series("x", [0.5] * 500, width=40)
+        bar = out.split("|")[1]
+        assert len(bar) <= 45
+
+    def test_min_max_reported(self):
+        out = format_percent_series("x", [0.25, 0.75])
+        assert "min=0.25" in out and "max=0.75" in out
+
+    def test_empty(self):
+        assert "empty" in format_percent_series("x", [])
+
+    def test_out_of_range_clamped(self):
+        out = format_percent_series("x", [-0.5, 1.5])
+        assert "|" in out  # no crash
+
+
+class TestPercent:
+    def test_signed(self):
+        assert percent(0.128) == "+12.8%"
+        assert percent(-0.059) == "-5.9%"

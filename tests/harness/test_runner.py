@@ -1,0 +1,112 @@
+"""Tests for the experiment runner (normalization + caching)."""
+
+import pytest
+
+from repro.arch.config import fermi_like
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.sim.technique import BaselineTechnique
+from tests.conftest import looped_kernel, straightline_kernel
+
+
+@pytest.fixture
+def cfg():
+    return fermi_like(
+        name="runner-test", num_sms=2, max_warps_per_sm=8, max_ctas_per_sm=4,
+        max_threads_per_sm=256, registers_per_sm=4096,
+        dram_latency=60, l1_hit_latency=8,
+    )
+
+
+class TestRunRecord:
+    def _record(self, cpc):
+        return RunRecord(
+            kernel_name="k", config_name="c", technique="t", cycles=100,
+            ctas_total=10, ctas_per_sm_resident=2, cycles_per_cta=cpc,
+            theoretical_occupancy=0.5, acquire_attempts=10,
+            acquire_successes=8, release_count=8, instructions_issued=1000,
+            stall_acquire=0, stall_memory=0,
+        )
+
+    def test_reduction_and_increase_are_inverse(self):
+        base, fast = self._record(100.0), self._record(80.0)
+        assert fast.reduction_vs(base) == pytest.approx(0.2)
+        assert fast.increase_vs(base) == pytest.approx(-0.2)
+
+    def test_acquire_success_rate(self):
+        assert self._record(1).acquire_success_rate == 0.8
+
+
+class TestExperimentRunner:
+    def test_run_produces_record(self, cfg):
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        record = runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        assert record.cycles > 0
+        assert record.cycles_per_cta > 0
+        assert record.ctas_total % cfg.num_sms == 0
+
+    def test_whole_waves(self, cfg):
+        """Grid is a whole multiple of residency per SM — no tails."""
+        runner = ExperimentRunner(target_ctas_per_sm=6)
+        record = runner.run(looped_kernel(), cfg, BaselineTechnique())
+        per_sm = record.ctas_total // cfg.num_sms
+        assert per_sm % record.ctas_per_sm_resident == 0
+
+    def test_memoization(self, cfg):
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        r1 = runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        r2 = runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        assert r1 is r2  # identical object: cache hit
+
+    def test_distinct_kernels_not_conflated(self, cfg):
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        r1 = runner.run(straightline_kernel(4), cfg, BaselineTechnique())
+        r2 = runner.run(straightline_kernel(12), cfg, BaselineTechnique())
+        assert r1.instructions_issued != r2.instructions_issued
+
+    def test_disk_cache_roundtrip(self, cfg, tmp_path):
+        path = str(tmp_path / "cache.json")
+        r1 = ExperimentRunner(target_ctas_per_sm=4, cache_path=path).run(
+            straightline_kernel(), cfg, BaselineTechnique()
+        )
+        fresh = ExperimentRunner(target_ctas_per_sm=4, cache_path=path)
+        r2 = fresh.run(straightline_kernel(), cfg, BaselineTechnique())
+        assert r1 == r2
+
+    def test_corrupt_cache_tolerated(self, cfg, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        runner = ExperimentRunner(target_ctas_per_sm=4, cache_path=str(path))
+        record = runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        assert record.cycles > 0
+
+    def test_seed_in_cache_key(self, cfg):
+        from tests.sim.test_gpu import memory_kernel
+        a = ExperimentRunner(target_ctas_per_sm=4, seed=1).run(
+            memory_kernel(), cfg, BaselineTechnique()
+        )
+        b = ExperimentRunner(target_ctas_per_sm=4, seed=2).run(
+            memory_kernel(), cfg, BaselineTechnique()
+        )
+        assert a.cycles != b.cycles
+
+
+class TestCacheFormatContract:
+    """The on-disk cache format must stay loadable across sessions: every
+    RunRecord field is JSON-serializable and the loader tolerates extra
+    or missing keys only by falling back to recomputation."""
+
+    def test_record_is_json_round_trippable(self, cfg):
+        import dataclasses, json
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        record = runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        blob = json.dumps(dataclasses.asdict(record))
+        back = RunRecord(**json.loads(blob))
+        assert back == record
+
+    def test_stale_schema_triggers_recompute(self, cfg, tmp_path):
+        import json
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"somekey": {"not": "a record"}}))
+        runner = ExperimentRunner(target_ctas_per_sm=4, cache_path=str(path))
+        record = runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        assert record.cycles > 0

@@ -1,0 +1,86 @@
+"""Tests for the fluent kernel builder."""
+
+import pytest
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import Opcode
+
+
+class TestKernelBuilder:
+    def test_label_attaches_to_next_instruction(self):
+        b = KernelBuilder()
+        b.ldc(0).label("top").alu(1, 0).exit()
+        k = b.build()
+        assert k.label_pc("top") == 1
+
+    def test_double_pending_label_rejected(self):
+        b = KernelBuilder()
+        b.label("a")
+        with pytest.raises(ValueError, match="already pending"):
+            b.label("b")
+
+    def test_dangling_label_rejected(self):
+        b = KernelBuilder()
+        b.ldc(0).label("end")
+        with pytest.raises(ValueError, match="dangling"):
+            b.build()
+
+    def test_declared_regs_raised_to_cover_references(self):
+        b = KernelBuilder(regs_per_thread=2)
+        b.ldc(7).exit()
+        assert b.build().metadata.regs_per_thread == 8
+
+    def test_branch_annotations_survive(self):
+        b = KernelBuilder()
+        b.ldc(0).label("l").alu(0, 0)
+        b.branch("l", 0, trip_count=3)
+        b.exit()
+        k = b.build()
+        branches = [i for i in k if i.is_conditional_branch]
+        assert branches[0].trip_count == 3
+
+    def test_emitters_produce_expected_opcodes(self):
+        b = KernelBuilder()
+        b.ldc(0)
+        b.load(1, 0)
+        b.load(2, 0, shared=True)
+        b.store(0, 1)
+        b.store(0, 2, shared=True)
+        b.mov(3, 1)
+        b.fma(4, 1, 2, 3)
+        b.setp(5, 0, 1)
+        b.barrier()
+        b.acquire()
+        b.release()
+        b.nop()
+        b.exit()
+        ops = [i.opcode for i in b.build()]
+        assert ops == [
+            Opcode.LDC, Opcode.LD_GLOBAL, Opcode.LD_SHARED,
+            Opcode.ST_GLOBAL, Opcode.ST_SHARED, Opcode.MOV, Opcode.FFMA,
+            Opcode.ISETP, Opcode.BAR_SYNC, Opcode.ACQUIRE, Opcode.RELEASE,
+            Opcode.NOP, Opcode.EXIT,
+        ]
+
+    def test_store_has_no_destinations(self):
+        b = KernelBuilder()
+        b.ldc(0).store(0, 0).exit()
+        store = b.build()[1]
+        assert store.dsts == ()
+        assert store.srcs == (0, 0)
+
+    def test_len_tracks_instructions(self):
+        b = KernelBuilder()
+        assert len(b) == 0
+        b.ldc(0)
+        assert len(b) == 1
+
+    def test_metadata_passthrough(self):
+        b = KernelBuilder(
+            name="x", regs_per_thread=10, threads_per_cta=128,
+            shared_mem_per_cta=2048,
+        )
+        b.ldc(0).exit()
+        md = b.build().metadata
+        assert (md.name, md.regs_per_thread, md.threads_per_cta,
+                md.shared_mem_per_cta) == ("x", 10, 128, 2048)

@@ -1,0 +1,45 @@
+"""Golden-output test for the assembly printer.
+
+Pins the exact textual format so downstream tooling (diffs, cache keys,
+checked-in fixtures) doesn't silently change shape.
+"""
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.printer import format_kernel
+
+
+def test_golden_listing():
+    b = KernelBuilder(name="golden", regs_per_thread=6, threads_per_cta=64,
+                      shared_mem_per_cta=512)
+    b.ldc(0)
+    b.ldc(1)
+    b.label("loop").alu(2, 0, 1)
+    b.setp(3, 2, 0)
+    b.branch("loop", 3, trip_count=2)
+    b.acquire()
+    b.fma(4, 0, 1, 2)
+    b.mov(5, 4, comment="compaction: R4 -> R5")
+    b.release()
+    b.barrier()
+    b.store(0, 5)
+    b.exit()
+    kernel = b.build()
+
+    expected = """.kernel golden
+.regs 6
+.threads 64
+.smem 512
+LDC R0
+LDC R1
+loop: IADD R2 ; R0,R1
+ISETP R3 ; R2,R0
+BRA  ; R3 -> loop @trips=2
+REGMUTEX.ACQUIRE
+FFMA R4 ; R0,R1,R2
+MOV R5 ; R4  # compaction: R4 -> R5
+REGMUTEX.RELEASE
+BAR.SYNC
+ST.GLOBAL  ; R0,R5
+EXIT
+"""
+    assert format_kernel(kernel) == expected

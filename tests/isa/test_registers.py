@@ -1,0 +1,91 @@
+"""Tests for Register and RegisterSet."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import Register, RegisterSet
+
+
+class TestRegister:
+    def test_name(self):
+        assert Register(3).name == "R3"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Register(-1)
+
+    def test_parse_roundtrip(self):
+        assert Register.parse("R17") == Register(17)
+        assert Register.parse("r4") == Register(4)
+
+    @pytest.mark.parametrize("bad", ["", "x3", "R", "R-1", "R3a", "3"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            Register.parse(bad)
+
+    def test_ordering(self):
+        assert Register(1) < Register(2)
+
+
+class TestRegisterSet:
+    def test_construction_dedupes_and_sorts(self):
+        s = RegisterSet([3, 1, 3, 2])
+        assert list(s) == [1, 2, 3]
+
+    def test_accepts_register_objects(self):
+        s = RegisterSet([Register(5), 2])
+        assert 5 in s and 2 in s
+
+    def test_range(self):
+        assert list(RegisterSet.range(4)) == [0, 1, 2, 3]
+
+    def test_contains_register(self):
+        assert Register(2) in RegisterSet([2])
+
+    def test_union_difference_intersection(self):
+        a, b = RegisterSet([1, 2, 3]), RegisterSet([3, 4])
+        assert list(a | b) == [1, 2, 3, 4]
+        assert list(a - b) == [1, 2]
+        assert list(a & b) == [3]
+
+    def test_equality_with_plain_sets(self):
+        assert RegisterSet([1, 2]) == {1, 2}
+
+    def test_max_index_empty(self):
+        assert RegisterSet().max_index() == -1
+
+    def test_above_below(self):
+        s = RegisterSet([0, 3, 7, 9])
+        assert list(s.above(4)) == [7, 9]
+        assert list(s.below(4)) == [0, 3]
+
+    def test_free_slots_below(self):
+        s = RegisterSet([0, 2, 5])
+        assert s.free_slots_below(5) == (1, 3, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterSet([-2])
+
+    @given(st.sets(st.integers(min_value=0, max_value=64)),
+           st.sets(st.integers(min_value=0, max_value=64)))
+    def test_set_algebra_matches_builtin(self, a, b):
+        ra, rb = RegisterSet(a), RegisterSet(b)
+        assert set(ra | rb) == a | b
+        assert set(ra - rb) == a - b
+        assert set(ra & rb) == a & b
+
+    @given(st.sets(st.integers(min_value=0, max_value=40)),
+           st.integers(min_value=0, max_value=40))
+    def test_above_below_partition(self, regs, boundary):
+        s = RegisterSet(regs)
+        assert set(s.above(boundary)) | set(s.below(boundary)) == regs
+        assert not set(s.above(boundary)) & set(s.below(boundary))
+
+    @given(st.sets(st.integers(min_value=0, max_value=30)),
+           st.integers(min_value=0, max_value=30))
+    def test_free_slots_disjoint_from_members(self, regs, boundary):
+        s = RegisterSet(regs)
+        free = set(s.free_slots_below(boundary))
+        assert not free & regs
+        assert free | (regs & set(range(boundary))) == set(range(boundary))

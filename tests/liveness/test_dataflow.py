@@ -1,0 +1,54 @@
+"""Tests for the generic backward dataflow solver."""
+
+import pytest
+
+from repro.cfg.graph import build_cfg
+from repro.liveness.dataflow import BackwardDataflow
+
+
+class TestBackwardDataflow:
+    def test_constant_transfer_reaches_fixed_point(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        result = BackwardDataflow(cfg, lambda b, out: frozenset({b}) | out).solve()
+        # Every block's IN contains itself plus everything downstream.
+        for blk in cfg.blocks:
+            assert blk.index in result.block_in[blk.index]
+
+    def test_boundary_seeds_exit_blocks(self, straight_kernel):
+        cfg = build_cfg(straight_kernel)
+        boundary = frozenset({"sentinel"})
+        result = BackwardDataflow(
+            cfg, lambda b, out: out, boundary=boundary
+        ).solve()
+        assert result.block_out[0] == boundary
+        assert result.block_in[0] == boundary
+
+    def test_union_over_successors(self, branch_kernel):
+        cfg = build_cfg(branch_kernel)
+        # Each block generates its own index; OUT should union successor INs.
+        result = BackwardDataflow(
+            cfg, lambda b, out: frozenset({b}) | out
+        ).solve()
+        for blk in cfg.blocks:
+            expected = frozenset().union(
+                *(result.block_in[s] for s in cfg.successors[blk.index])
+            ) if cfg.successors[blk.index] else frozenset()
+            assert result.block_out[blk.index] == expected
+
+    def test_loop_converges(self, loop_kernel):
+        cfg = build_cfg(loop_kernel)
+        result = BackwardDataflow(
+            cfg, lambda b, out: frozenset({b}) | out
+        ).solve()
+        assert result.iterations < 100
+
+    def test_non_convergence_guard(self, loop_kernel):
+        cfg = build_cfg(loop_kernel)
+        counter = [0]
+
+        def poisoned(b, out):
+            counter[0] += 1
+            return frozenset({counter[0]})  # never stabilizes
+
+        with pytest.raises(RuntimeError, match="converge"):
+            BackwardDataflow(cfg, poisoned).solve(max_iterations=50)

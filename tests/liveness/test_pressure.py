@@ -1,0 +1,90 @@
+"""Tests for pressure profiling and Figure 1 traces."""
+
+import pytest
+
+from repro.isa.builder import KernelBuilder
+from repro.liveness.pressure import (
+    dynamic_pressure_trace,
+    static_pressure,
+)
+from repro.workloads.suite import FIGURE1_APPS, get_app, build_app_kernel
+
+
+class TestStaticPressure:
+    def test_histogram_sums_to_instruction_count(self, straight_kernel):
+        profile = static_pressure(straight_kernel)
+        assert sum(profile.histogram().values()) == len(straight_kernel)
+
+    def test_pcs_above_threshold(self, straight_kernel):
+        profile = static_pressure(straight_kernel)
+        assert profile.pcs_above(profile.max_live) == []
+        assert len(profile.pcs_above(0)) > 0
+
+    def test_fraction_above_bounds(self, straight_kernel):
+        profile = static_pressure(straight_kernel)
+        assert 0.0 <= profile.fraction_above(2) <= 1.0
+        assert profile.fraction_above(-1) == 1.0
+
+
+class TestDynamicTrace:
+    def test_trace_ends_at_exit(self, straight_kernel):
+        trace = dynamic_pressure_trace(straight_kernel)
+        assert trace.pcs[-1] == straight_kernel.exit_pcs()[0]
+
+    def test_loop_unrolls_dynamically(self, loop_kernel):
+        trace = dynamic_pressure_trace(loop_kernel)
+        assert trace.instructions_executed > len(loop_kernel)
+
+    def test_trip_counts_respected(self):
+        b = KernelBuilder(regs_per_thread=2)
+        b.ldc(0)
+        b.label("l").alu(1, 0)
+        b.setp(0, 0, 1)
+        b.branch("l", 0, trip_count=5)
+        b.exit()
+        k = b.build()
+        trace = dynamic_pressure_trace(k)
+        body_pc = k.label_pc("l")
+        assert trace.pcs.count(body_pc) == 6  # 5 taken + final fall-through
+
+    def test_infinite_loop_detected(self):
+        b = KernelBuilder(regs_per_thread=2)
+        b.ldc(0)
+        b.label("l").alu(1, 0)
+        b.jump("l")
+        b.exit()
+        with pytest.raises(RuntimeError, match="terminate"):
+            dynamic_pressure_trace(b.build(), max_instructions=500)
+
+    def test_probability_branches_deterministic_per_seed(self, branch_kernel):
+        t1 = dynamic_pressure_trace(branch_kernel, seed=3)
+        t2 = dynamic_pressure_trace(branch_kernel, seed=3)
+        assert t1.pcs == t2.pcs
+
+    def test_utilization_bounded(self, loop_kernel):
+        trace = dynamic_pressure_trace(loop_kernel)
+        for u in trace.utilization:
+            assert 0.0 <= u <= 1.0
+
+
+class TestFigure1Shape:
+    """The paper's motivation: most of the time, only a subset of the
+    allocated registers is live, and utilization fluctuates."""
+
+    @pytest.mark.parametrize("app", FIGURE1_APPS)
+    def test_majority_of_time_below_peak(self, app):
+        trace = dynamic_pressure_trace(build_app_kernel(get_app(app)))
+        assert trace.fraction_fully_utilized() < 0.5
+
+    @pytest.mark.parametrize("app", FIGURE1_APPS)
+    def test_utilization_fluctuates(self, app):
+        trace = dynamic_pressure_trace(build_app_kernel(get_app(app)))
+        util = trace.utilization
+        assert max(util) - min(util) > 0.3  # visible sawtooth
+
+    @pytest.mark.parametrize("app", FIGURE1_APPS)
+    def test_peak_approaches_allocation(self, app):
+        spec = get_app(app)
+        trace = dynamic_pressure_trace(build_app_kernel(spec))
+        assert max(trace.live_counts) >= spec.regs - 3
+        assert max(trace.live_counts) > spec.expected_bs

@@ -1,0 +1,144 @@
+"""Tests for RegMutex issue-stage logic and technique wiring."""
+
+import pytest
+
+from repro.arch.config import GTX480, fermi_like
+from repro.isa.builder import KernelBuilder
+from repro.regmutex.issue_logic import (
+    RegMutexSmState,
+    RegMutexTechnique,
+    srp_section_count,
+)
+from repro.sim.rand import DeterministicRng
+from repro.sim.stats import SmStats
+from repro.sim.warp import Warp, WarpStatus
+from repro.workloads.suite import build_app_kernel, get_app
+from tests.conftest import straightline_kernel
+
+
+class TestSrpSectionCount:
+    def test_paper_worked_example(self):
+        """|Bs|=18/20/16 with 48 warps on 32K registers leave 26/16/32
+        sections (§III-A2)."""
+        assert srp_section_count(GTX480, 48, 18, 6) == 26
+        assert srp_section_count(GTX480, 48, 20, 4) == 16
+        assert srp_section_count(GTX480, 48, 16, 8) == 32
+
+    def test_capped_at_warp_slots(self):
+        assert srp_section_count(GTX480, 8, 4, 2) == GTX480.max_warps_per_sm
+
+    def test_zero_when_no_leftover(self):
+        cfg = fermi_like(registers_per_sm=48 * 18 * 32)
+        assert srp_section_count(cfg, 48, 18, 6) == 0
+
+    def test_zero_es(self):
+        assert srp_section_count(GTX480, 48, 18, 0) == 0
+
+
+def _state(sections=2, retry="wakeup", config=None):
+    config = config or GTX480
+    kernel = straightline_kernel()
+    stats = SmStats()
+    return RegMutexSmState(kernel, config, stats, sections, retry), stats
+
+
+def _warp(wid, kernel=None):
+    return Warp(wid, 0, kernel or straightline_kernel(), DeterministicRng(wid))
+
+
+class TestAcquireRelease:
+    def test_acquire_grants_and_counts(self):
+        state, stats = _state(sections=2)
+        w = _warp(0)
+        assert state.try_acquire(w, cycle=10)
+        assert w.holds_extended_set
+        assert stats.acquire_attempts == 1
+        assert stats.acquire_successes == 1
+
+    def test_exhausted_pool_parks_warp(self):
+        state, stats = _state(sections=1)
+        w0, w1 = _warp(0), _warp(1)
+        assert state.try_acquire(w0, 0)
+        assert not state.try_acquire(w1, 5)
+        assert w1.status is WarpStatus.WAITING_ACQUIRE
+        assert stats.acquire_attempts == 2
+        assert stats.acquire_successes == 1
+
+    def test_release_wakes_one_fifo(self):
+        state, stats = _state(sections=1)
+        w0, w1, w2 = _warp(0), _warp(1), _warp(2)
+        state.try_acquire(w0, 0)
+        state.try_acquire(w1, 1)
+        state.try_acquire(w2, 2)
+        state.release(w0, 10)
+        woken = state.wakeup_pending()
+        assert woken == [w1]  # FIFO: first blocked first woken
+        assert state.waiting_warps == 1  # w2 still parked
+
+    def test_wait_cycles_accounted(self):
+        state, stats = _state(sections=1)
+        w0, w1 = _warp(0), _warp(1)
+        state.try_acquire(w0, 0)
+        state.try_acquire(w1, 100)
+        state.release(w0, 150)
+        w1.status = WarpStatus.READY
+        assert state.try_acquire(w1, 160)
+        assert stats.acquire_wait_cycles == 60
+
+    def test_warp_finish_reclaims_section(self):
+        state, stats = _state(sections=1)
+        w0, w1 = _warp(0), _warp(1)
+        state.try_acquire(w0, 0)
+        state.try_acquire(w1, 1)
+        state.on_warp_finish(w0, 20)
+        assert not w0.holds_extended_set
+        assert state.wakeup_pending() == [w1]
+
+    def test_finish_removes_from_wait_queue(self):
+        state, _ = _state(sections=1)
+        w0, w1 = _warp(0), _warp(1)
+        state.try_acquire(w0, 0)
+        state.try_acquire(w1, 1)
+        state.on_warp_finish(w1, 5)  # parked warp dies (exception path)
+        state.release(w0, 10)
+        assert state.wakeup_pending() == []
+
+    def test_eager_policy_does_not_park(self):
+        state, _ = _state(sections=1, retry="eager")
+        w0, w1 = _warp(0), _warp(1)
+        state.try_acquire(w0, 0)
+        assert not state.try_acquire(w1, 1)
+        assert w1.status is WarpStatus.READY  # retries at next issue round
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            _state(retry="spin")
+
+
+class TestTechnique:
+    def test_occupancy_uses_bs(self):
+        spec = get_app("BFS")
+        tech = RegMutexTechnique(extended_set_size=spec.expected_es)
+        kernel = build_app_kernel(spec)
+        compiled = tech.prepare_kernel(kernel, GTX480)
+        occ = tech.occupancy(compiled, GTX480)
+        from repro.sim.technique import BaselineTechnique
+        base_occ = BaselineTechnique().occupancy(kernel, GTX480)
+        assert occ.resident_warps > base_occ.resident_warps
+
+    def test_uninstrumented_kernel_falls_back(self):
+        spec = get_app("Gaussian")  # not register-limited on full RF
+        tech = RegMutexTechnique()
+        kernel = build_app_kernel(spec)
+        compiled = tech.prepare_kernel(kernel, GTX480)
+        assert not compiled.metadata.uses_regmutex
+        assert tech.num_sections(compiled, GTX480) == 0
+
+    def test_sections_match_selection(self):
+        spec = get_app("BFS")
+        tech = RegMutexTechnique(extended_set_size=spec.expected_es)
+        compiled = tech.prepare_kernel(build_app_kernel(spec), GTX480)
+        occ = tech.occupancy(compiled, GTX480)
+        assert tech.num_sections(compiled, GTX480) == srp_section_count(
+            GTX480, occ.resident_warps, spec.expected_bs, spec.expected_es
+        )

@@ -1,0 +1,109 @@
+"""Tests for architected-to-physical register mapping (Figure 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regmutex.mapping import RegMutexRegisterMapper
+from repro.regmutex.srp import SharedRegisterPool
+from repro.sim.regfile import BaselineRegisterMapper
+
+
+class TestBaselineMapper:
+    def test_y_equals_x_plus_coeff_times_widx(self):
+        m = BaselineRegisterMapper(coeff=24, total_registers=1024)
+        assert m.resolve(0, 5).physical_index == 5
+        assert m.resolve(3, 5).physical_index == 5 + 24 * 3
+
+    def test_out_of_allocation_rejected(self):
+        m = BaselineRegisterMapper(coeff=8, total_registers=1024)
+        with pytest.raises(ValueError, match="R8"):
+            m.resolve(0, 8)
+
+    def test_file_overflow_rejected(self):
+        m = BaselineRegisterMapper(coeff=32, total_registers=64)
+        with pytest.raises(ValueError, match="register file"):
+            m.resolve(2, 0)
+
+    def test_max_resident_warps(self):
+        m = BaselineRegisterMapper(coeff=24, total_registers=1024)
+        assert m.max_resident_warps() == 42  # 1024 // 24
+
+    @given(st.integers(min_value=0, max_value=41),
+           st.integers(min_value=0, max_value=23))
+    def test_no_collisions_across_warps(self, warp, reg):
+        """Distinct (warp, reg) pairs map to distinct physical registers."""
+        m = BaselineRegisterMapper(coeff=24, total_registers=1024)
+        phys = m.resolve(warp, reg).physical_index
+        assert phys == warp * 24 + reg  # bijective by construction
+        assert 0 <= phys < 1024
+
+
+def _mapper(bs=18, es=6, warps=48, total=1024, sections=26):
+    srp = SharedRegisterPool(max_warps=warps, num_sections=sections)
+    return srp, RegMutexRegisterMapper(
+        base_set_size=bs,
+        extended_set_size=es,
+        resident_warps=warps,
+        total_registers=total,
+        srp=srp,
+    )
+
+
+class TestRegMutexMapper:
+    def test_base_path(self):
+        _, m = _mapper()
+        r = m.resolve(2, 5)
+        assert r.region == "base"
+        assert r.physical_index == 5 + 18 * 2
+
+    def test_extended_requires_section(self):
+        _, m = _mapper()
+        with pytest.raises(PermissionError, match="without holding"):
+            m.resolve(2, 20)
+
+    def test_extended_path_uses_lut(self):
+        srp, m = _mapper()
+        srp.acquire(2)
+        section = srp.lut_entry(2)
+        r = m.resolve(2, 20)
+        assert r.region == "extended"
+        assert r.physical_index == (20 - 18) + 6 * section + m.srp_offset
+
+    def test_out_of_range_register(self):
+        srp, m = _mapper()
+        srp.acquire(0)
+        with pytest.raises(ValueError, match="R24"):
+            m.resolve(0, 24)  # >= |Bs| + |Es|
+
+    def test_overcommit_rejected_at_construction(self):
+        srp = SharedRegisterPool(max_warps=48, num_sections=48)
+        with pytest.raises(ValueError, match="overcommitted"):
+            RegMutexRegisterMapper(
+                base_set_size=20, extended_set_size=12,
+                resident_warps=48, total_registers=1024, srp=srp,
+            )
+
+    def test_srp_offset_after_base_blocks(self):
+        _, m = _mapper(bs=18, warps=48)
+        assert m.srp_offset == 18 * 48
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.data())
+    def test_no_physical_collisions_between_holders(self, data):
+        """The central safety property: with any set of warps holding
+        sections, all (warp, arch reg) pairs resolve to distinct physical
+        registers."""
+        srp, m = _mapper(bs=18, es=6, warps=40, total=1024, sections=26)
+        holders = data.draw(st.sets(
+            st.integers(min_value=0, max_value=39), max_size=26))
+        for w in holders:
+            assert srp.acquire(w) is not None
+        seen: dict[int, tuple[int, int]] = {}
+        for w in range(40):
+            regs = range(18 + 6) if w in holders else range(18)
+            for x in regs:
+                phys = m.resolve(w, x).physical_index
+                assert phys not in seen, (
+                    f"({w},R{x}) and {seen[phys]} share physical {phys}"
+                )
+                seen[phys] = (w, x)

@@ -1,0 +1,152 @@
+"""Tests for the SRP hardware structures (bitmasks, FFZ, LUT)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regmutex.srp import Bitmask, SharedRegisterPool, lut_bits
+
+
+class TestBitmask:
+    def test_set_unset_test(self):
+        m = Bitmask(8)
+        m.set(3)
+        assert m.test(3)
+        m.unset(3)
+        assert not m.test(3)
+
+    def test_out_of_range(self):
+        m = Bitmask(4)
+        with pytest.raises(IndexError):
+            m.set(4)
+        with pytest.raises(IndexError):
+            m.test(-1)
+
+    def test_find_first_zero_empty(self):
+        assert Bitmask(8).find_first_zero() == 0
+
+    def test_find_first_zero_skips_set_bits(self):
+        m = Bitmask(8)
+        m.set(0)
+        m.set(1)
+        assert m.find_first_zero() == 2
+
+    def test_find_first_zero_full(self):
+        m = Bitmask(3)
+        for i in range(3):
+            m.set(i)
+        assert m.find_first_zero() is None
+
+    def test_popcount(self):
+        m = Bitmask(16)
+        for i in (1, 5, 9):
+            m.set(i)
+        assert m.popcount() == 3
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Bitmask(0)
+
+    @given(st.sets(st.integers(min_value=0, max_value=47)))
+    def test_ffz_is_least_unset(self, bits):
+        m = Bitmask(48)
+        for b in bits:
+            m.set(b)
+        ffz = m.find_first_zero()
+        if len(bits) == 48:
+            assert ffz is None
+        else:
+            assert ffz == min(set(range(48)) - bits)
+
+
+class TestSharedRegisterPool:
+    def test_initial_state(self):
+        srp = SharedRegisterPool(max_warps=48, num_sections=26)
+        assert srp.sections_free == 26
+        assert srp.sections_in_use == 0
+        srp.check_invariants()
+
+    def test_phantom_sections_preset(self):
+        """Bits past the physical section count are set at kernel placement
+        and stay intact (paper §III-B1)."""
+        srp = SharedRegisterPool(max_warps=48, num_sections=5)
+        for section in range(5, 48):
+            assert srp.srp_bitmask.test(section)
+        for section in range(5):
+            assert not srp.srp_bitmask.test(section)
+
+    def test_acquire_release_roundtrip(self):
+        srp = SharedRegisterPool(48, 4)
+        section = srp.acquire(7)
+        assert section == 0
+        assert srp.holds_section(7)
+        assert srp.lut_entry(7) == 0
+        freed = srp.release(7)
+        assert freed == 0
+        assert not srp.holds_section(7)
+        srp.check_invariants()
+
+    def test_acquire_exhaustion(self):
+        srp = SharedRegisterPool(48, 2)
+        assert srp.acquire(0) == 0
+        assert srp.acquire(1) == 1
+        assert srp.acquire(2) is None  # pool full: warp must wait
+        srp.check_invariants()
+
+    def test_nested_acquire_is_noop(self):
+        srp = SharedRegisterPool(48, 4)
+        first = srp.acquire(3)
+        second = srp.acquire(3)
+        assert first == second
+        assert srp.sections_in_use == 1
+
+    def test_nested_release_is_noop(self):
+        srp = SharedRegisterPool(48, 4)
+        srp.acquire(3)
+        assert srp.release(3) is not None
+        assert srp.release(3) is None
+        assert srp.sections_free == 4
+
+    def test_sections_recycled_ffz_order(self):
+        srp = SharedRegisterPool(48, 3)
+        srp.acquire(0); srp.acquire(1); srp.acquire(2)
+        srp.release(1)  # frees section 1
+        assert srp.acquire(9) == 1  # FFZ returns the lowest free section
+
+    def test_zero_sections(self):
+        srp = SharedRegisterPool(48, 0)
+        assert srp.acquire(0) is None
+
+    def test_too_many_sections_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRegisterPool(max_warps=48, num_sections=49)
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["acq", "rel"]),
+                  st.integers(min_value=0, max_value=47)),
+        max_size=200,
+    ))
+    def test_invariants_under_random_traffic(self, ops):
+        """The three structures never disagree, no section is double-owned,
+        and free counts stay in range — under arbitrary acquire/release."""
+        srp = SharedRegisterPool(48, 26)
+        for op, warp in ops:
+            if op == "acq":
+                srp.acquire(warp)
+            else:
+                srp.release(warp)
+            srp.check_invariants()
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=1, max_value=48))
+    def test_capacity_is_exact(self, sections):
+        """Exactly ``sections`` warps can hold sections simultaneously."""
+        srp = SharedRegisterPool(48, sections)
+        granted = [w for w in range(48) if srp.acquire(w) is not None]
+        assert len(granted) == sections
+
+
+class TestStorageGeometry:
+    def test_lut_bits_matches_paper(self):
+        """48 warps x ceil(log2 48) = 48 x 6 = 288 bits (§III-B1)."""
+        assert lut_bits(48) == 288

@@ -1,0 +1,105 @@
+"""Integration tests for the optional bank-conflict timing model."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import fermi_like
+from repro.regmutex.issue_logic import RegMutexSmState
+from repro.sim.rand import DeterministicRng
+from repro.sim.sm import StreamingMultiprocessor
+from repro.sim.stats import SmStats
+from repro.sim.technique import SmTechniqueState
+from repro.sim.warp import Warp
+from tests.conftest import straightline_kernel
+
+
+@pytest.fixture
+def base_config():
+    return fermi_like(
+        name="banked", num_sms=1, max_warps_per_sm=8, max_ctas_per_sm=4,
+        max_threads_per_sm=256, registers_per_sm=4096,
+        dram_latency=60, l1_hit_latency=8,
+    )
+
+
+def _run(kernel, config):
+    stats = SmStats()
+    sm = StreamingMultiprocessor(
+        sm_id=0, config=config, kernel=kernel,
+        technique_state=SmTechniqueState(kernel, config, stats),
+        ctas_resident_limit=1, total_ctas=1,
+        rng=DeterministicRng(1), stats=stats,
+    )
+    return sm.run(), sm
+
+
+def conflict_heavy_kernel():
+    """Every instruction reads two registers 16 apart -> same bank."""
+    from repro.isa.builder import KernelBuilder
+    b = KernelBuilder(regs_per_thread=20, threads_per_cta=32)
+    b.ldc(0)
+    b.ldc(16)
+    for _ in range(20):
+        b.alu(0, 0, 16)   # R0 and R16 share a bank (16 banks)
+    b.store(0, 0)
+    b.exit()
+    return b.build()
+
+
+class TestBankIntegration:
+    def test_disabled_by_default(self, base_config):
+        _, sm = _run(straightline_kernel(), base_config)
+        assert sm.banked_rf is None
+
+    def test_conflicts_slow_execution(self, base_config):
+        kernel = conflict_heavy_kernel()
+        banked = dataclasses.replace(base_config, model_bank_conflicts=True)
+        stats_plain, _ = _run(kernel, base_config)
+        stats_banked, sm = _run(kernel, banked)
+        assert sm.banked_rf is not None
+        assert sm.banked_rf.total_conflicts > 0
+        assert stats_banked.cycles > stats_plain.cycles
+
+    def test_conflict_free_kernel_unaffected(self, base_config):
+        from repro.isa.builder import KernelBuilder
+        b = KernelBuilder(regs_per_thread=4, threads_per_cta=32)
+        b.ldc(0)
+        b.ldc(1)
+        for _ in range(10):
+            b.alu(2, 0, 1)   # banks 0 and 1: never conflict
+        b.store(2, 2)
+        b.exit()
+        kernel = b.build()
+        banked = dataclasses.replace(base_config, model_bank_conflicts=True)
+        stats_plain, _ = _run(kernel, base_config)
+        stats_banked, sm = _run(kernel, banked)
+        assert sm.banked_rf.total_conflicts == 0
+        assert stats_banked.cycles == stats_plain.cycles
+
+    def test_regmutex_mux_resolution(self, base_config):
+        """The RegMutex technique resolves extended registers through the
+        SRP section, so banking sees SRP-relative physical indices."""
+        kernel = straightline_kernel().with_metadata(
+            regs_per_thread=8, base_set_size=6, extended_set_size=2
+        )
+        stats = SmStats()
+        state = RegMutexSmState(kernel, base_config, stats, num_sections=2)
+        warp = Warp(0, 0, kernel, DeterministicRng(0))
+        base_phys = state.resolve_physical(warp, 3)
+        assert base_phys == 3  # slot 0, base block
+        state.try_acquire(warp, 0)
+        ext_phys = state.resolve_physical(warp, 6)
+        srp_offset = 6 * base_config.max_warps_per_sm
+        assert ext_phys == srp_offset + 2 * (warp.srp_section or 0)
+
+    def test_extended_without_section_falls_back(self, base_config):
+        kernel = straightline_kernel().with_metadata(
+            regs_per_thread=8, base_set_size=6, extended_set_size=2
+        )
+        stats = SmStats()
+        state = RegMutexSmState(kernel, base_config, stats, num_sections=2)
+        warp = Warp(0, 0, kernel, DeterministicRng(0))
+        # No section held: the timing model falls back to the base formula
+        # rather than crashing (the verifier forbids this case statically).
+        assert state.resolve_physical(warp, 6) == 6

@@ -1,0 +1,123 @@
+"""Tests for concurrent kernel co-scheduling and the fallback rule."""
+
+import pytest
+
+from repro.arch.config import fermi_like
+from repro.regmutex.issue_logic import RegMutexTechnique
+from repro.sim.multikernel import (
+    ConcurrentLaunchResult,
+    kernels_similar,
+    launch_concurrent,
+)
+from repro.sim.technique import BaselineTechnique
+from tests.conftest import looped_kernel, straightline_kernel
+
+
+@pytest.fixture
+def config():
+    return fermi_like(
+        name="multi-test", num_sms=2, max_warps_per_sm=8, max_ctas_per_sm=4,
+        max_threads_per_sm=256, registers_per_sm=4096,
+        dram_latency=60, l1_hit_latency=8,
+    )
+
+
+class TestSimilarity:
+    def test_identical_kernels_similar(self):
+        assert kernels_similar([straightline_kernel(), straightline_kernel()])
+
+    def test_renamed_copy_still_similar(self):
+        a = straightline_kernel()
+        b = a.with_metadata(name="other-name")
+        assert kernels_similar([a, b])
+
+    def test_different_programs_dissimilar(self):
+        assert not kernels_similar([straightline_kernel(), looped_kernel()])
+
+
+class TestLaunchConcurrent:
+    def test_homogeneous_launch(self, config):
+        k = straightline_kernel()
+        result = launch_concurrent([k, k], [2, 2], config)
+        assert result.cycles > 0
+        assert not result.fell_back_to_default
+        assert result.stats.total.ctas_launched == 4
+
+    def test_dissimilar_kernels_fall_back(self, config):
+        """The paper's rule: dissimilar co-scheduled kernels run in the
+        default mode with zero-sized extended sets."""
+        a, b = straightline_kernel(), looped_kernel()
+        result = launch_concurrent(
+            [a, b], [2, 2], config, RegMutexTechnique(extended_set_size=2)
+        )
+        assert result.fell_back_to_default
+        assert result.stats.technique == "baseline(fallback)"
+        for compiled in result.kernels:
+            assert not compiled.metadata.uses_regmutex
+            assert compiled.regmutex_instruction_count() == 0
+        # Zero acquires happened.
+        assert result.stats.total.acquire_attempts == 0
+
+    def test_dissimilar_under_baseline_is_not_a_fallback(self, config):
+        result = launch_concurrent(
+            [straightline_kernel(), looped_kernel()], [1, 1], config,
+            BaselineTechnique(),
+        )
+        assert not result.fell_back_to_default
+
+    def test_all_work_completes(self, config):
+        a, b = straightline_kernel(), looped_kernel()
+        result = launch_concurrent([a, b], [3, 2], config)
+        assert result.stats.total.ctas_launched == 5
+        # Both kernels' instruction mixes executed: issue count exceeds
+        # what either kernel alone would produce.
+        warps = 2  # 64 threads / 32
+        min_issued = (len(a) * 3 + len(b) * 2) * warps
+        assert result.stats.total.instructions_issued >= min_issued
+
+    def test_input_validation(self, config):
+        k = straightline_kernel()
+        with pytest.raises(ValueError):
+            launch_concurrent([], [], config)
+        with pytest.raises(ValueError):
+            launch_concurrent([k], [1, 2], config)
+        with pytest.raises(ValueError):
+            launch_concurrent([k], [0], config)
+
+    def test_residency_sized_for_worst_kernel(self, config):
+        """Mixed residency must respect the most register-hungry kernel."""
+        from repro.isa.builder import KernelBuilder
+        small = straightline_kernel()
+        bld = KernelBuilder(regs_per_thread=32, threads_per_cta=64)
+        bld.ldc(31)
+        bld.exit()
+        fat = bld.build()
+        result = launch_concurrent([small, fat], [2, 2], config)
+        # 4096 regs / (32 regs x 64 thr) = 2 CTAs: the mix caps at 2.
+        assert result.stats.ctas_per_sm == 2
+
+
+class TestScheduleInterleaving:
+    def test_round_robin_cta_order(self, config):
+        """CTAs of co-scheduled kernels interleave round-robin, so one
+        kernel cannot starve the other at dispatch."""
+        from repro.sim.multikernel import launch_concurrent
+        a = straightline_kernel(4, name="ka")
+        b = straightline_kernel(12, name="kb")
+        # Same program length difference makes them dissimilar.
+        result = launch_concurrent([a, b], [4, 2], config)
+        # All 6 CTAs ran; the interleave is ka kb ka kb ka ka.
+        assert result.stats.total.ctas_launched == 6
+
+    def test_single_kernel_degenerates_to_plain_launch(self, config):
+        from repro.sim.multikernel import launch_concurrent
+        from repro.sim.gpu import Gpu
+        from repro.sim.technique import BaselineTechnique
+        k = straightline_kernel()
+        multi = launch_concurrent([k], [4], config)
+        plain = Gpu(config, BaselineTechnique()).launch(k, grid_ctas=4)
+        # Same work; cycle counts differ only through CTA->SM placement
+        # and seeding, so compare conservatively.
+        assert multi.stats.total.instructions_issued == (
+            plain.stats.total.instructions_issued
+        )

@@ -1,0 +1,65 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rand import DeterministicRng
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(42), DeterministicRng(42)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a, b = DeterministicRng(1), DeterministicRng(2)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_zero_seed_works(self):
+        rng = DeterministicRng(0)
+        assert rng.next_u64() != rng.next_u64()
+
+    def test_uniform_range(self):
+        rng = DeterministicRng(7)
+        for _ in range(1000):
+            u = rng.uniform()
+            assert 0.0 <= u < 1.0
+
+    def test_uniform_roughly_uniform(self):
+        rng = DeterministicRng(7)
+        mean = sum(rng.uniform() for _ in range(10_000)) / 10_000
+        assert 0.45 < mean < 0.55
+
+    def test_randint_inclusive_bounds(self):
+        rng = DeterministicRng(3)
+        values = {rng.randint(2, 5) for _ in range(500)}
+        assert values == {2, 3, 4, 5}
+
+    def test_randint_bad_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).randint(5, 2)
+
+    def test_choice(self):
+        rng = DeterministicRng(1)
+        seq = ["a", "b", "c"]
+        assert {rng.choice(seq) for _ in range(100)} == set(seq)
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).choice([])
+
+    def test_fork_streams_independent(self):
+        parent = DeterministicRng(9)
+        c1, c2 = parent.fork(1), parent.fork(2)
+        assert [c1.next_u64() for _ in range(5)] != [c2.next_u64() for _ in range(5)]
+
+    def test_fork_deterministic(self):
+        a = DeterministicRng(9).fork(1)
+        b = DeterministicRng(9).fork(1)
+        assert a.next_u64() == b.next_u64()
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_never_stuck(self, seed):
+        rng = DeterministicRng(seed)
+        values = {rng.next_u64() for _ in range(10)}
+        assert len(values) == 10

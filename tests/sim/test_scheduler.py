@@ -1,0 +1,97 @@
+"""Tests for GTO and LRR warp schedulers."""
+
+import pytest
+
+from repro.sim.rand import DeterministicRng
+from repro.sim.scheduler import GtoScheduler, LrrScheduler, make_scheduler
+from repro.sim.warp import Warp
+from tests.conftest import straightline_kernel
+
+
+def _warps(n):
+    kernel = straightline_kernel()
+    return [Warp(i, 0, kernel, DeterministicRng(i)) for i in range(n)]
+
+
+class TestGto:
+    def test_picks_oldest_initially(self):
+        sched = GtoScheduler(0)
+        warps = _warps(4)
+        assert sched.pick([warps[2], warps[1], warps[3]]) is warps[1]
+
+    def test_greedy_sticks_to_last_issued(self):
+        sched = GtoScheduler(0)
+        warps = _warps(4)
+        sched.notify_issued(warps[2])
+        assert sched.pick(warps) is warps[2]
+
+    def test_falls_back_to_oldest_when_greedy_stalls(self):
+        sched = GtoScheduler(0)
+        warps = _warps(4)
+        sched.notify_issued(warps[2])
+        # warps[2] not in candidates: stalled
+        assert sched.pick([warps[3], warps[1]]) is warps[1]
+
+    def test_empty_candidates(self):
+        assert GtoScheduler(0).pick([]) is None
+
+    def test_removed_greedy_forgotten(self):
+        sched = GtoScheduler(0)
+        warps = _warps(3)
+        sched.notify_issued(warps[2])
+        sched.notify_removed(warps[2])
+        assert sched.pick(warps) is warps[0]
+
+    def test_priority_hook_outranks_greedy(self):
+        """OWF's owner-first: priority 0 warps outrank the greedy warp."""
+        warps = _warps(4)
+        warps[3].owns_pair_lock = True
+        sched = GtoScheduler(0, priority=lambda w: 0 if w.owns_pair_lock else 1)
+        sched.notify_issued(warps[0])
+        assert sched.pick(warps) is warps[3]
+
+    def test_priority_ties_use_greedy_then_oldest(self):
+        warps = _warps(4)
+        sched = GtoScheduler(0, priority=lambda w: 0)
+        sched.notify_issued(warps[1])
+        assert sched.pick(warps) is warps[1]
+        assert sched.pick([warps[2], warps[3]]) is warps[2]
+
+
+class TestLrr:
+    def test_round_robin_order(self):
+        sched = LrrScheduler(0)
+        warps = _warps(3)
+        first = sched.pick(warps)
+        sched.notify_issued(first)
+        second = sched.pick(warps)
+        sched.notify_issued(second)
+        third = sched.pick(warps)
+        sched.notify_issued(third)
+        wrap = sched.pick(warps)
+        assert [w.warp_id for w in (first, second, third, wrap)] == [0, 1, 2, 0]
+
+    def test_skips_missing_candidates(self):
+        sched = LrrScheduler(0)
+        warps = _warps(4)
+        sched.notify_issued(warps[1])
+        assert sched.pick([warps[0], warps[3]]) is warps[3]
+
+    def test_empty(self):
+        assert LrrScheduler(0).pick([]) is None
+
+
+class TestFactory:
+    def test_gto(self):
+        assert isinstance(make_scheduler("gto", 0), GtoScheduler)
+
+    def test_lrr(self):
+        assert isinstance(make_scheduler("lrr", 0), LrrScheduler)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_scheduler("fifo", 0)
+
+    def test_lrr_rejects_priority(self):
+        with pytest.raises(ValueError):
+            make_scheduler("lrr", 0, priority=lambda w: 0)

@@ -1,0 +1,100 @@
+"""Tests for the register scoreboard."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.sim.scoreboard import Scoreboard
+
+
+def _inst(dsts=(), srcs=()):
+    return Instruction(Opcode.IADD, tuple(dsts), tuple(srcs))
+
+
+class TestScoreboard:
+    def test_clean_warp_can_issue(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        assert sb.can_issue(0, _inst((0,), (1,)), cycle=0)
+
+    def test_raw_hazard_blocks(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=10)
+        assert not sb.can_issue(0, _inst((2,), (1,)), cycle=5)
+        assert sb.can_issue(0, _inst((2,), (1,)), cycle=10)
+
+    def test_waw_hazard_blocks(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 3, ready_cycle=10)
+        assert not sb.can_issue(0, _inst((3,), ()), cycle=5)
+
+    def test_unrelated_register_not_blocked(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=10)
+        assert sb.can_issue(0, _inst((2,), (3,)), cycle=5)
+
+    def test_warps_isolated(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.register_warp(1)
+        sb.record_write(0, 1, ready_cycle=10)
+        assert sb.can_issue(1, _inst((2,), (1,)), cycle=5)
+
+    def test_record_write_keeps_max(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=10)
+        sb.record_write(0, 1, ready_cycle=5)  # must not shrink
+        assert not sb.can_issue(0, _inst((), (1,)), cycle=7)
+
+    def test_expire_drops_completed(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=5)
+        sb.record_write(0, 2, ready_cycle=50)
+        sb.expire(10)
+        assert sb.pending_count(0, 10) == 1
+
+    def test_ready_cycle(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=10)
+        sb.record_write(0, 2, ready_cycle=20)
+        inst = _inst((3,), (1, 2))
+        assert sb.ready_cycle(0, inst, cycle=0) == 20
+        assert sb.ready_cycle(0, _inst((4,), (5,)), cycle=3) == 3
+
+    def test_earliest_ready(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.register_warp(1)
+        assert sb.earliest_ready(0) is None
+        sb.record_write(0, 1, ready_cycle=30)
+        sb.record_write(1, 7, ready_cycle=12)
+        assert sb.earliest_ready(0) == 12
+        assert sb.earliest_ready(12) == 30
+
+    def test_blocking_registers(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=10)
+        assert sb.blocking_registers(0, _inst((1,), (2,)), 5) == [1]
+
+    def test_has_pending_memory_heuristic(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=400)
+        assert sb.has_pending_memory(0, cycle=0, horizon=20)
+        sb2 = Scoreboard()
+        sb2.register_warp(0)
+        sb2.record_write(0, 1, ready_cycle=4)
+        assert not sb2.has_pending_memory(0, cycle=0, horizon=20)
+
+    def test_remove_warp(self):
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=100)
+        sb.remove_warp(0)
+        assert sb.earliest_ready(0) is None

@@ -1,0 +1,112 @@
+"""Tests for warp state and CTA barrier protocol."""
+
+import pytest
+
+from repro.sim.cta import Cta
+from repro.sim.rand import DeterministicRng
+from repro.sim.warp import Warp, WarpStatus
+from tests.conftest import looped_kernel, straightline_kernel
+
+
+def _warp(kernel=None, wid=0, seed=0):
+    return Warp(wid, 0, kernel or straightline_kernel(), DeterministicRng(seed))
+
+
+class TestWarpControlFlow:
+    def test_trip_count_loop(self):
+        kernel = looped_kernel(trips=3)
+        warp = _warp(kernel)
+        branch_pc = next(
+            pc for pc, i in enumerate(kernel) if i.is_conditional_branch
+        )
+        warp.pc = branch_pc
+        inst = kernel[branch_pc]
+        taken = []
+        for _ in range(4):
+            target = warp.resolve_branch_target(inst)
+            taken.append(target == kernel.label_pc(inst.target))
+        assert taken == [True, True, True, False]
+
+    def test_trip_counter_rearms_after_falling_through(self):
+        kernel = looped_kernel(trips=2)
+        warp = _warp(kernel)
+        branch_pc = next(
+            pc for pc, i in enumerate(kernel) if i.is_conditional_branch
+        )
+        warp.pc = branch_pc
+        inst = kernel[branch_pc]
+        seq = [warp.resolve_branch_target(inst) == kernel.label_pc(inst.target)
+               for _ in range(6)]
+        assert seq == [True, True, False, True, True, False]
+
+    def test_probability_zero_falls_through(self):
+        from repro.isa.builder import KernelBuilder
+        b = KernelBuilder(regs_per_thread=2)
+        b.ldc(0)
+        b.label("t").branch("t", 0, taken_probability=0.0)
+        b.exit()
+        kernel = b.build()
+        warp = _warp(kernel)
+        warp.pc = 1
+        assert warp.resolve_branch_target(kernel[1]) == 2
+
+    def test_unannotated_branch_falls_through(self):
+        from repro.isa.builder import KernelBuilder
+        b = KernelBuilder(regs_per_thread=2)
+        b.ldc(0)
+        b.label("t").branch("t", 0)
+        b.exit()
+        kernel = b.build()
+        warp = _warp(kernel)
+        warp.pc = 1
+        assert warp.resolve_branch_target(kernel[1]) == 2
+
+    def test_resolve_on_non_branch_rejected(self):
+        warp = _warp()
+        with pytest.raises(ValueError):
+            warp.resolve_branch_target(warp.kernel[0])
+
+    def test_finish(self):
+        warp = _warp()
+        warp.finish()
+        assert warp.finished
+        assert warp.status is WarpStatus.FINISHED
+
+
+class TestCta:
+    def _cta(self, n=4):
+        kernel = straightline_kernel()
+        warps = [Warp(i, 0, kernel, DeterministicRng(i)) for i in range(n)]
+        return Cta(0, warps), warps
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cta(0, [])
+
+    def test_barrier_holds_until_all_arrive(self):
+        cta, warps = self._cta(3)
+        assert not cta.arrive_at_barrier(warps[0])
+        assert warps[0].status is WarpStatus.AT_BARRIER
+        assert not cta.arrive_at_barrier(warps[1])
+        assert cta.arrive_at_barrier(warps[2])
+        for w in warps:
+            assert w.status is WarpStatus.READY
+
+    def test_finished_warps_excluded_from_barrier(self):
+        cta, warps = self._cta(3)
+        warps[2].finish()
+        assert not cta.arrive_at_barrier(warps[0])
+        assert cta.arrive_at_barrier(warps[1])  # releases with 2/2 live
+
+    def test_barrier_reusable(self):
+        cta, warps = self._cta(2)
+        for _ in range(3):
+            assert not cta.arrive_at_barrier(warps[0])
+            assert cta.arrive_at_barrier(warps[1])
+
+    def test_finished(self):
+        cta, warps = self._cta(2)
+        assert not cta.finished
+        for w in warps:
+            w.finish()
+        assert cta.finished

@@ -1,0 +1,203 @@
+"""Tests for the parametric kernel generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg.graph import build_cfg
+from repro.cfg.loops import find_natural_loops
+from repro.liveness.liveness import analyze_liveness
+from repro.liveness.pressure import dynamic_pressure_trace
+from repro.workloads.generator import (
+    KernelShape,
+    PressurePhase,
+    generate_kernel,
+)
+
+
+def _shape(**overrides):
+    defaults = dict(
+        name="gen",
+        phases=(
+            PressurePhase(live_regs=6, length=20, mem_ratio=0.2),
+            PressurePhase(live_regs=12, length=10),
+            PressurePhase(live_regs=6, length=15, mem_ratio=0.2),
+        ),
+        regs_per_thread=12,
+    )
+    defaults.update(overrides)
+    return KernelShape(**defaults)
+
+
+class TestValidation:
+    def test_peak_must_fit_declared_regs(self):
+        with pytest.raises(ValueError, match="peak"):
+            _shape(regs_per_thread=8)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            KernelShape(name="x", phases=(), regs_per_thread=8)
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            PressurePhase(live_regs=1, length=5)
+        with pytest.raises(ValueError):
+            PressurePhase(live_regs=4, length=0)
+        with pytest.raises(ValueError):
+            PressurePhase(live_regs=4, length=5, mem_ratio=1.5)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        k1, k2 = generate_kernel(_shape()), generate_kernel(_shape())
+        assert k1.instructions == k2.instructions
+
+    def test_seed_changes_code(self):
+        k1 = generate_kernel(_shape(seed=1))
+        k2 = generate_kernel(_shape(seed=2))
+        assert k1.instructions != k2.instructions
+
+    def test_terminates(self):
+        trace = dynamic_pressure_trace(generate_kernel(_shape(outer_trips=3)))
+        assert trace.pcs[-1] == generate_kernel(_shape(outer_trips=3)).exit_pcs()[0]
+
+    def test_pressure_profile_matches_phases(self):
+        kernel = generate_kernel(_shape())
+        info = analyze_liveness(kernel)
+        assert info.max_live() >= 10       # near the 12-reg peak
+        assert min(info.live_count) <= 6   # dips to the low phases
+
+    def test_loop_trips_produce_loop(self):
+        shape = _shape(phases=(
+            PressurePhase(live_regs=8, length=10, loop_trips=4),
+        ), regs_per_thread=8)
+        kernel = generate_kernel(shape)
+        cfg = build_cfg(kernel)
+        assert find_natural_loops(cfg)
+
+    def test_outer_loop_repeats_phases(self):
+        flat = generate_kernel(_shape(outer_trips=0))
+        looped = generate_kernel(_shape(outer_trips=3))
+        t_flat = dynamic_pressure_trace(flat)
+        t_loop = dynamic_pressure_trace(looped)
+        assert t_loop.instructions_executed > 2 * t_flat.instructions_executed
+
+    def test_mem_ratio_controls_load_count(self):
+        from repro.isa.instructions import OpClass
+        lo = generate_kernel(_shape(phases=(
+            PressurePhase(live_regs=8, length=100, mem_ratio=0.1),
+        ), regs_per_thread=8))
+        hi = generate_kernel(_shape(phases=(
+            PressurePhase(live_regs=8, length=100, mem_ratio=0.4),
+        ), regs_per_thread=8))
+        n_lo = sum(1 for i in lo if i.op_class is OpClass.LOAD)
+        n_hi = sum(1 for i in hi if i.op_class is OpClass.LOAD)
+        assert n_hi > n_lo * 2
+
+    def test_deterministic_load_placement_granularity(self):
+        """round(ratio * length) loads exactly — the calibration contract."""
+        from repro.isa.instructions import OpClass
+        for ratio in (0.02, 0.05, 0.055, 0.1):
+            shape = _shape(phases=(
+                PressurePhase(live_regs=8, length=60, mem_ratio=ratio),
+            ), regs_per_thread=8)
+            kernel = generate_kernel(shape)
+            # Count loads inside the phase body (exclude pressure-raising
+            # definition loads, identified by their LDC/LD mix at the top).
+            body_loads = sum(
+                1 for i in kernel
+                if i.op_class is OpClass.LOAD and i.dsts and i.srcs
+            )
+            assert body_loads >= round(ratio * 60)
+
+    def test_scramble_indices_changes_assignment(self):
+        plain = generate_kernel(_shape())
+        scrambled = generate_kernel(_shape(scramble_indices=True))
+        assert plain.instructions != scrambled.instructions
+        # Same architected register count either way.
+        assert (
+            plain.metadata.regs_per_thread
+            == scrambled.metadata.regs_per_thread
+        )
+
+    def test_divergent_phase_builds_diamond(self):
+        from repro.cfg.graph import build_cfg
+        kernel = generate_kernel(_shape(phases=(
+            PressurePhase(live_regs=8, length=20, divergent=0.5),
+        ), regs_per_thread=8))
+        cfg = build_cfg(kernel)
+        branches = [i for i in kernel if i.is_conditional_branch]
+        assert any(i.taken_probability == 0.5 for i in branches)
+        # Diamond structure: some block has two successors that rejoin.
+        assert len(cfg.blocks) >= 4
+
+    def test_divergent_kernel_compiles_safely(self):
+        """Divergence-conservative liveness + region normalization must
+        handle diamonds inside acquire regions."""
+        from repro.arch.config import fermi_like
+        from repro.compiler.pipeline import regmutex_compile
+        from repro.compiler.verification import verify_regmutex_safety
+        kernel = generate_kernel(KernelShape(
+            name="div",
+            phases=(
+                PressurePhase(live_regs=8, length=20, mem_ratio=0.2),
+                PressurePhase(live_regs=16, length=16, divergent=0.5),
+                PressurePhase(live_regs=8, length=15, mem_ratio=0.2),
+            ),
+            regs_per_thread=16,
+            threads_per_cta=64,
+            outer_trips=2,
+        ))
+        cfg = fermi_like(registers_per_sm=6144, max_warps_per_sm=8,
+                         max_ctas_per_sm=4, max_threads_per_sm=256, num_sms=1)
+        compiled = regmutex_compile(kernel, cfg, forced_es=4)
+        if compiled.metadata.uses_regmutex:
+            result = verify_regmutex_safety(
+                compiled, compiled.metadata.base_set_size
+            )
+            assert result.ok, result.violations[:3]
+
+    def test_divergent_kernel_simulates(self):
+        from repro.arch.config import fermi_like
+        from repro.sim.gpu import Gpu
+        from repro.sim.technique import BaselineTechnique
+        kernel = generate_kernel(_shape(phases=(
+            PressurePhase(live_regs=8, length=20, divergent=0.3),
+        ), regs_per_thread=8, outer_trips=2))
+        cfg = fermi_like(num_sms=1, max_warps_per_sm=8, max_ctas_per_sm=4,
+                         max_threads_per_sm=256, registers_per_sm=4096,
+                         dram_latency=60, l1_hit_latency=8)
+        result = Gpu(cfg, BaselineTechnique()).launch(kernel, grid_ctas=2)
+        assert result.cycles > 0
+
+    def test_divergent_validation(self):
+        with pytest.raises(ValueError):
+            PressurePhase(live_regs=8, length=20, divergent=1.5)
+        with pytest.raises(ValueError):
+            PressurePhase(live_regs=8, length=2, divergent=0.5)
+
+    def test_sfu_ratio_emits_sfu_ops(self):
+        from repro.isa.instructions import OpClass
+        kernel = generate_kernel(_shape(phases=(
+            PressurePhase(live_regs=8, length=40, sfu_ratio=0.2),
+        ), regs_per_thread=8))
+        assert any(i.op_class is OpClass.SFU for i in kernel)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=5, max_value=40),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_arbitrary_shapes_build_and_terminate(self, live, length, outer):
+        shape = KernelShape(
+            name="prop",
+            phases=(
+                PressurePhase(live_regs=live, length=length, mem_ratio=0.2),
+                PressurePhase(live_regs=max(2, live // 2), length=length),
+            ),
+            regs_per_thread=live,
+            outer_trips=outer,
+        )
+        kernel = generate_kernel(shape)
+        trace = dynamic_pressure_trace(kernel, max_instructions=200_000)
+        assert trace.instructions_executed > 0

@@ -1,0 +1,93 @@
+"""Table I fidelity tests for the 16-application suite."""
+
+import pytest
+
+from repro.arch.config import GTX480, GTX480_HALF_RF
+from repro.arch.occupancy import occupancy_limited_by_registers
+from repro.compiler.es_selection import select_extended_set_size
+from repro.workloads.suite import (
+    APPLICATIONS,
+    FIGURE1_APPS,
+    OCCUPANCY_LIMITED_APPS,
+    REGISTER_RELAXED_APPS,
+    build_app_kernel,
+    get_app,
+)
+
+# Table I of the paper: name -> (regs, rounded regs, |Bs|).
+TABLE1 = {
+    "BFS": (21, 24, 18),
+    "CUTCP": (25, 28, 20),
+    "DWT2D": (44, 44, 38),
+    "HotSpot3D": (32, 32, 24),
+    "MRI-Q": (21, 24, 18),
+    "ParticleFilter": (32, 32, 20),
+    "RadixSort": (33, 36, 30),
+    "SAD": (30, 32, 20),
+    "Gaussian": (12, 12, 8),
+    "HeartWall": (28, 28, 20),
+    "LavaMD": (37, 40, 28),
+    "MergeSort": (15, 16, 12),
+    "MonteCarlo": (13, 16, 12),
+    "SPMV": (16, 16, 12),
+    "SRAD": (18, 20, 12),
+    "TPACF": (28, 28, 20),
+}
+
+
+class TestTable1Fidelity:
+    def test_sixteen_applications(self):
+        assert len(APPLICATIONS) == 16
+        assert set(APPLICATIONS) == set(TABLE1)
+
+    @pytest.mark.parametrize("app", sorted(TABLE1))
+    def test_register_counts_match_paper(self, app):
+        regs, rounded, bs = TABLE1[app]
+        spec = get_app(app)
+        assert spec.regs == regs
+        assert spec.rounded_regs == rounded
+        assert spec.expected_bs == bs
+
+    def test_groups_partition_suite(self):
+        assert len(OCCUPANCY_LIMITED_APPS) == 8
+        assert len(REGISTER_RELAXED_APPS) == 8
+        assert not set(OCCUPANCY_LIMITED_APPS) & set(REGISTER_RELAXED_APPS)
+
+    def test_figure1_apps_subset(self):
+        assert len(FIGURE1_APPS) == 6
+        assert set(FIGURE1_APPS) <= set(APPLICATIONS)
+
+    @pytest.mark.parametrize("app", OCCUPANCY_LIMITED_APPS)
+    def test_occupancy_limited_group_property(self, app):
+        md = build_app_kernel(get_app(app)).metadata
+        assert occupancy_limited_by_registers(GTX480, md)
+
+    @pytest.mark.parametrize("app", REGISTER_RELAXED_APPS)
+    def test_register_relaxed_group_property(self, app):
+        md = build_app_kernel(get_app(app)).metadata
+        assert not occupancy_limited_by_registers(GTX480, md)
+        assert occupancy_limited_by_registers(GTX480_HALF_RF, md)
+
+    @pytest.mark.parametrize(
+        "app", [a for a, s in APPLICATIONS.items() if s.heuristic_matches]
+    )
+    def test_heuristic_agreement_where_geometry_allows(self, app):
+        spec = get_app(app)
+        kernel = build_app_kernel(spec)
+        config = GTX480 if spec.group == "occupancy-limited" else GTX480_HALF_RF
+        sel = select_extended_set_size(kernel, config)
+        assert sel.base_set_size == spec.expected_bs
+
+    def test_heuristic_exceptions_documented(self):
+        mismatched = {a for a, s in APPLICATIONS.items() if not s.heuristic_matches}
+        assert mismatched == {"DWT2D", "RadixSort", "LavaMD", "MergeSort"}
+
+    def test_unknown_app_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="BFS"):
+            get_app("NotAnApp")
+
+    @pytest.mark.parametrize("app", sorted(APPLICATIONS))
+    def test_expected_es_even_and_positive(self, app):
+        spec = get_app(app)
+        assert spec.expected_es > 0
+        assert spec.expected_es % 2 == 0
