@@ -4,6 +4,7 @@ from repro.analysis.bottleneck import BottleneckReport, attribute_bottlenecks
 from repro.analysis.sweeps import (
     RfSizePoint,
     register_file_size_sweep,
+    rf_size_sweep_spec,
 )
 
 __all__ = [
@@ -11,4 +12,5 @@ __all__ = [
     "attribute_bottlenecks",
     "RfSizePoint",
     "register_file_size_sweep",
+    "rf_size_sweep_spec",
 ]

@@ -1,10 +1,15 @@
-"""Design-space sweeps built on the experiment runner.
+"""Design-space sweeps built on the declarative experiment layer.
 
 The headline sweep generalizes the paper's §IV-B experiment: instead of
 one halved register file, sweep the file size and measure how much
 performance each technique retains — "how small can the register file
 get before the kernel falls off a cliff, and how far does RegMutex push
 that cliff?".
+
+Each sweep is declared as an :class:`ExperimentSpec` whose row builder
+tolerates per-point failures (a scale where no CTA fits is a data point,
+not an error), so it runs serially through a runner or in parallel
+through an :class:`~repro.harness.orchestrator.Orchestrator` unchanged.
 """
 
 from __future__ import annotations
@@ -14,9 +19,14 @@ from dataclasses import dataclass
 
 from repro.arch.config import GpuConfig, GTX480
 from repro.harness.runner import ExperimentRunner
-from repro.regmutex.issue_logic import RegMutexTechnique
-from repro.sim.technique import BaselineTechnique
-from repro.workloads.suite import build_app_kernel, get_app
+from repro.harness.spec import (
+    ExperimentSpec,
+    JobResults,
+    JobSpec,
+    TechniqueSpec,
+    run_experiment,
+)
+from repro.workloads.suite import get_app
 
 DEFAULT_SCALES = (1.0, 0.75, 0.5, 0.375)
 
@@ -50,44 +60,64 @@ def _scaled(config: GpuConfig, scale: float) -> GpuConfig:
     )
 
 
+def rf_size_sweep_spec(
+    app: str,
+    config: GpuConfig = GTX480,
+    scales: tuple[float, ...] = DEFAULT_SCALES,
+) -> ExperimentSpec:
+    """Declare the register-file size sweep for one application."""
+    es = get_app(app).expected_es
+    full_job = JobSpec(app, config, TechniqueSpec.of("baseline"))
+    plan = []
+    for scale in scales:
+        scaled = _scaled(config, scale)
+        plan.append(
+            (scale, scaled,
+             JobSpec(app, scaled, TechniqueSpec.of("baseline")),
+             JobSpec(app, scaled,
+                     TechniqueSpec.of("regmutex", extended_set_size=es)))
+        )
+
+    def build(results: JobResults) -> list[RfSizePoint]:
+        full = results[full_job]
+
+        def metric(job: JobSpec) -> tuple[float, bool]:
+            # The kernel may stop fitting at small scales (no CTA
+            # placeable); carry an infinite increase instead of raising.
+            if results.failed(job):
+                return float("inf"), False
+            return results[job].increase_vs(full), True
+
+        points = []
+        for scale, scaled, base_job, rm_job in plan:
+            inc_base, fits_base = metric(base_job)
+            inc_rm, fits_rm = metric(rm_job)
+            points.append(RfSizePoint(
+                app=app,
+                scale=scale,
+                registers_per_sm=scaled.registers_per_sm,
+                increase_baseline=inc_base,
+                increase_regmutex=inc_rm,
+                fits_baseline=fits_base,
+                fits_regmutex=fits_rm,
+            ))
+        return points
+
+    jobs = (full_job,) + tuple(
+        j for _, _, base, rm in plan for j in (base, rm)
+    )
+    return ExperimentSpec(f"rf-size-sweep/{app}", jobs, build)
+
+
 def register_file_size_sweep(
     runner: ExperimentRunner,
     app: str,
     config: GpuConfig = GTX480,
     scales: tuple[float, ...] = DEFAULT_SCALES,
+    orchestrator=None,
 ) -> list[RfSizePoint]:
-    """Sweep the register file size for one application.
-
-    The kernel may stop fitting at small scales (no CTA placeable);
-    those points are reported with ``fits_* = False`` and an infinite
-    increase is avoided by carrying ``float('inf')``.
-    """
-    spec = get_app(app)
-    kernel = build_app_kernel(spec)
-    full = runner.run(kernel, config, BaselineTechnique())
-
-    points: list[RfSizePoint] = []
-    for scale in scales:
-        scaled = _scaled(config, scale)
-
-        def _try(technique):
-            try:
-                record = runner.run(kernel, scaled, technique)
-                return record.increase_vs(full), True
-            except RuntimeError:
-                return float("inf"), False
-
-        inc_base, fits_base = _try(BaselineTechnique())
-        inc_rm, fits_rm = _try(
-            RegMutexTechnique(extended_set_size=spec.expected_es)
-        )
-        points.append(RfSizePoint(
-            app=app,
-            scale=scale,
-            registers_per_sm=scaled.registers_per_sm,
-            increase_baseline=inc_base,
-            increase_regmutex=inc_rm,
-            fits_baseline=fits_base,
-            fits_regmutex=fits_rm,
-        ))
-    return points
+    """Sweep the register file size for one application."""
+    spec = rf_size_sweep_spec(app, config, scales)
+    if orchestrator is not None:
+        return orchestrator.run_specs([spec])[spec.name]
+    return run_experiment(spec, runner)

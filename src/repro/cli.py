@@ -4,13 +4,19 @@ Usage::
 
     python -m repro list
     python -m repro table1
-    python -m repro fig7 [--apps BFS,SAD] [--cache PATH]
+    python -m repro fig7 [--apps BFS,SAD] [--cache PATH] [--workers 4]
     python -m repro fig9a
     python -m repro storage
     python -m repro run BFS --technique regmutex [--half-rf] [--es 6]
+    python -m repro bench [--figures fig7,fig9a] [--workers 8]
 
 ``run`` executes a single (app, technique) pair and prints the raw
-record — the quickest way to poke at one configuration.
+record — the quickest way to poke at one configuration.  ``bench``
+regenerates whole figure suites through the orchestrator — jobs are
+deduplicated across figures, dispatched to ``--workers`` processes, and
+a telemetry report (per-job timings, cache hits/misses, worker
+utilization) is printed at the end.  ``--workers N`` on a figure
+command parallelizes just that figure.
 """
 
 from __future__ import annotations
@@ -22,7 +28,13 @@ from repro.arch.config import GTX480
 from repro.baselines.owf import OwfTechnique, owf_priority
 from repro.baselines.rfv import RfvTechnique
 from repro.harness import experiments as E
-from repro.harness.reporting import format_percent_series, format_table, percent
+from repro.harness.orchestrator import Orchestrator
+from repro.harness.reporting import (
+    format_percent_series,
+    format_table,
+    format_telemetry,
+    percent,
+)
 from repro.harness.runner import ExperimentRunner
 from repro.regmutex.issue_logic import RegMutexTechnique
 from repro.regmutex.paired import PairedWarpsTechnique
@@ -44,9 +56,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache", default=".bench_cache.json",
         help="simulation result cache path (default: %(default)s)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for simulation jobs (default: %(default)s)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments and apps")
+    bench = sub.add_parser(
+        "bench",
+        help="regenerate figure suites through the orchestrator "
+             "with a telemetry report",
+    )
+    bench.add_argument(
+        "--figures", default=None, metavar="NAMES",
+        help="comma-separated figure subset (default: all of "
+             + ",".join(sorted(E.FIGURE_SPECS)) + ")",
+    )
     for name in _EXPERIMENTS:
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument(
@@ -130,6 +156,28 @@ def _maybe_csv(args, rows) -> None:
         print(f"(rows exported to {path})")
 
 
+def _cmd_bench(args, runner: ExperimentRunner) -> int:
+    """Regenerate figure suites through the orchestrator + telemetry."""
+    if args.figures:
+        names = [n.strip() for n in args.figures.split(",")]
+        unknown = [n for n in names if n not in E.FIGURE_SPECS]
+        if unknown:
+            known = ", ".join(sorted(E.FIGURE_SPECS))
+            raise KeyError(f"unknown figures {unknown} (known: {known})")
+    else:
+        names = list(E.FIGURE_SPECS)
+    specs = [E.FIGURE_SPECS[n]() for n in names]
+    orch = Orchestrator(runner, workers=args.workers)
+    rows_by_name = orch.run_specs(specs)
+    print(format_table(
+        ["figure", "rows"],
+        [[n, len(rows_by_name[n])] for n in names],
+    ))
+    print()
+    print(format_telemetry(orch.telemetry))
+    return 0
+
+
 def _cmd_experiment(name: str, args, runner: ExperimentRunner) -> int:
     apps = _apps_arg(args)
 
@@ -157,6 +205,10 @@ def _cmd_experiment(name: str, args, runner: ExperimentRunner) -> int:
         return 0
 
     kwargs = {"apps": apps} if apps else {}
+    extra = {}
+    if args.workers > 1:
+        extra["orchestrator"] = Orchestrator(runner, workers=args.workers)
+    kwargs.update(extra)
     if name == "fig7":
         rows = E.fig7_occupancy_boost(runner, **kwargs)
         print(format_table(
@@ -202,21 +254,21 @@ def _cmd_experiment(name: str, args, runner: ExperimentRunner) -> int:
               f"{r.acquire_success_rate:.0%}"] for r in rows],
         ))
     elif name == "fig12a":
-        rows = E.fig12_paired_warps(runner, half_rf=False)
+        rows = E.fig12_paired_warps(runner, half_rf=False, **extra)
         print(format_table(
             ["app", "paired reduction", "default reduction"],
             [[r.app, percent(r.metric), percent(r.metric_default)]
              for r in rows],
         ))
     elif name == "fig12b":
-        rows = E.fig12_paired_warps(runner, half_rf=True)
+        rows = E.fig12_paired_warps(runner, half_rf=True, **extra)
         print(format_table(
             ["app", "paired increase", "default increase"],
             [[r.app, percent(r.metric), percent(r.metric_default)]
              for r in rows],
         ))
     elif name == "fig13":
-        rows = E.fig13_acquire_success(runner)
+        rows = E.fig13_acquire_success(runner, **extra)
         print(format_table(
             ["app", "arch", "default", "paired"],
             [[r.app, r.arch, f"{r.success_default:.0%}",
@@ -233,10 +285,12 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    runner = ExperimentRunner(cache_path=args.cache)
-    if args.command == "run":
-        return _cmd_run(args, runner)
-    return _cmd_experiment(args.command, args, runner)
+    with ExperimentRunner(cache_path=args.cache) as runner:
+        if args.command == "run":
+            return _cmd_run(args, runner)
+        if args.command == "bench":
+            return _cmd_bench(args, runner)
+        return _cmd_experiment(args.command, args, runner)
 
 
 if __name__ == "__main__":  # pragma: no cover

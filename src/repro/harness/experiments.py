@@ -1,12 +1,19 @@
-"""One driver per paper experiment (§IV and motivation §II).
+"""One declarative spec per paper experiment (§IV and motivation §II).
 
-Every function takes an :class:`~repro.harness.runner.ExperimentRunner`
-(sharing its cache across experiments) and returns plain row dataclasses
-that the reporting module renders and the benchmark suite asserts on.
+Every simulation-backed figure is declared as an
+:class:`~repro.harness.spec.ExperimentSpec` — the cross-product of
+(app, config, technique) jobs it needs plus a row builder — via a
+``figN_spec()`` factory.  The ``figN_*()`` driver functions keep their
+historical signatures as thin wrappers: they execute the spec serially
+through a runner, or through an :class:`Orchestrator` when one is
+passed (job dedup across figures, parallel dispatch, telemetry).
 
 RegMutex runs force Table I's |Bs|/|Es| split (``spec.expected_es``) so
 every figure uses exactly the paper's configuration; Figure 10/11 sweep
 |Es| explicitly and mark the heuristic's own pick.
+
+Figure 1, Table I, and the storage comparison are pure analyses (no
+simulation) and stay plain functions.
 """
 
 from __future__ import annotations
@@ -14,13 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import GTX480, GpuConfig
-from repro.baselines.owf import OwfTechnique, owf_priority
-from repro.baselines.rfv import RfvTechnique
 from repro.compiler.es_selection import select_extended_set_size
 from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.spec import (
+    ExperimentSpec,
+    JobResults,
+    JobSpec,
+    TechniqueSpec,
+    run_experiment,
+)
 from repro.liveness.pressure import dynamic_pressure_trace
-from repro.regmutex.issue_logic import RegMutexTechnique
-from repro.regmutex.paired import PairedWarpsTechnique
 from repro.regmutex.storage import (
     StorageBudget,
     owf_storage_bits,
@@ -28,7 +38,6 @@ from repro.regmutex.storage import (
     regmutex_storage_bits,
     rfv_storage_bits,
 )
-from repro.sim.technique import BaselineTechnique
 from repro.workloads.suite import (
     APPLICATIONS,
     FIGURE1_APPS,
@@ -43,6 +52,21 @@ ES_SWEEP = (2, 4, 6, 8, 10, 12)
 
 def _half(config: GpuConfig) -> GpuConfig:
     return config.with_half_register_file()
+
+
+def _job(app: str, config: GpuConfig, kind: str, **params) -> JobSpec:
+    return JobSpec(app, config, TechniqueSpec.of(kind, **params))
+
+
+def _rm(app: str, config: GpuConfig, es: int) -> JobSpec:
+    return _job(app, config, "regmutex", extended_set_size=es)
+
+
+def _run(spec: ExperimentSpec, runner, orchestrator) -> list:
+    """Execute one spec: orchestrated if an orchestrator is given."""
+    if orchestrator is not None:
+        return orchestrator.run_specs([spec])[spec.name]
+    return run_experiment(spec, runner)
 
 
 # ---------------------------------------------------------------------------
@@ -145,30 +169,43 @@ class Fig7Row:
     acquire_success_rate: float
 
 
+def fig7_spec(
+    apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
+    config: GpuConfig = GTX480,
+) -> ExperimentSpec:
+    """Figure 7: RegMutex vs baseline on the full register file."""
+    plan = [
+        (name, _job(name, config, "baseline"),
+         _rm(name, config, get_app(name).expected_es))
+        for name in apps
+    ]
+
+    def build(results: JobResults) -> list[Fig7Row]:
+        rows = []
+        for name, base_job, rm_job in plan:
+            base, rm = results[base_job], results[rm_job]
+            rows.append(
+                Fig7Row(
+                    app=name,
+                    cycle_reduction=rm.reduction_vs(base),
+                    occupancy_init=base.theoretical_occupancy,
+                    occupancy_regmutex=rm.theoretical_occupancy,
+                    acquire_success_rate=rm.acquire_success_rate,
+                )
+            )
+        return rows
+
+    jobs = tuple(j for _, base, rm in plan for j in (base, rm))
+    return ExperimentSpec("fig7", jobs, build)
+
+
 def fig7_occupancy_boost(
     runner: ExperimentRunner,
     apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
     config: GpuConfig = GTX480,
+    orchestrator=None,
 ) -> list[Fig7Row]:
-    """Figure 7: RegMutex vs baseline on the full register file."""
-    rows = []
-    for name in apps:
-        spec = get_app(name)
-        kernel = build_app_kernel(spec)
-        base = runner.run(kernel, config, BaselineTechnique())
-        rm = runner.run(
-            kernel, config, RegMutexTechnique(extended_set_size=spec.expected_es)
-        )
-        rows.append(
-            Fig7Row(
-                app=name,
-                cycle_reduction=rm.reduction_vs(base),
-                occupancy_init=base.theoretical_occupancy,
-                occupancy_regmutex=rm.theoretical_occupancy,
-                acquire_success_rate=rm.acquire_success_rate,
-            )
-        )
-    return rows
+    return _run(fig7_spec(apps, config), runner, orchestrator)
 
 
 # ---------------------------------------------------------------------------
@@ -186,32 +223,48 @@ class Fig8Row:
     occupancy_half_regmutex: float
 
 
+def fig8_spec(
+    apps: tuple[str, ...] = REGISTER_RELAXED_APPS,
+    config: GpuConfig = GTX480,
+) -> ExperimentSpec:
+    """Figure 8: slowdown on a halved register file, with/without RegMutex."""
+    half = _half(config)
+    plan = [
+        (name,
+         _job(name, config, "baseline"),
+         _job(name, half, "baseline"),
+         _rm(name, half, get_app(name).expected_es))
+        for name in apps
+    ]
+
+    def build(results: JobResults) -> list[Fig8Row]:
+        rows = []
+        for name, full_job, bare_job, rm_job in plan:
+            full, bare, rm = (
+                results[full_job], results[bare_job], results[rm_job]
+            )
+            rows.append(
+                Fig8Row(
+                    app=name,
+                    increase_no_technique=bare.increase_vs(full),
+                    increase_regmutex=rm.increase_vs(full),
+                    occupancy_half_no_technique=bare.theoretical_occupancy,
+                    occupancy_half_regmutex=rm.theoretical_occupancy,
+                )
+            )
+        return rows
+
+    jobs = tuple(j for entry in plan for j in entry[1:])
+    return ExperimentSpec("fig8", jobs, build)
+
+
 def fig8_half_register_file(
     runner: ExperimentRunner,
     apps: tuple[str, ...] = REGISTER_RELAXED_APPS,
     config: GpuConfig = GTX480,
+    orchestrator=None,
 ) -> list[Fig8Row]:
-    """Figure 8: slowdown on a halved register file, with/without RegMutex."""
-    half = _half(config)
-    rows = []
-    for name in apps:
-        spec = get_app(name)
-        kernel = build_app_kernel(spec)
-        full = runner.run(kernel, config, BaselineTechnique())
-        bare = runner.run(kernel, half, BaselineTechnique())
-        rm = runner.run(
-            kernel, half, RegMutexTechnique(extended_set_size=spec.expected_es)
-        )
-        rows.append(
-            Fig8Row(
-                app=name,
-                increase_no_technique=bare.increase_vs(full),
-                increase_regmutex=rm.increase_vs(full),
-                occupancy_half_no_technique=bare.theoretical_occupancy,
-                occupancy_half_regmutex=rm.theoretical_occupancy,
-            )
-        )
-    return rows
+    return _run(fig8_spec(apps, config), runner, orchestrator)
 
 
 # ---------------------------------------------------------------------------
@@ -228,33 +281,45 @@ class Fig9aRow:
     reduction_regmutex: float
 
 
+def fig9a_spec(
+    apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
+    config: GpuConfig = GTX480,
+) -> ExperimentSpec:
+    """Figure 9a: OWF vs RFV vs RegMutex, baseline architecture."""
+    plan = [
+        (name,
+         _job(name, config, "baseline"),
+         _job(name, config, "owf"),
+         _job(name, config, "rfv"),
+         _rm(name, config, get_app(name).expected_es))
+        for name in apps
+    ]
+
+    def build(results: JobResults) -> list[Fig9aRow]:
+        rows = []
+        for name, base_job, owf_job, rfv_job, rm_job in plan:
+            base = results[base_job]
+            rows.append(
+                Fig9aRow(
+                    app=name,
+                    reduction_owf=results[owf_job].reduction_vs(base),
+                    reduction_rfv=results[rfv_job].reduction_vs(base),
+                    reduction_regmutex=results[rm_job].reduction_vs(base),
+                )
+            )
+        return rows
+
+    jobs = tuple(j for entry in plan for j in entry[1:])
+    return ExperimentSpec("fig9a", jobs, build)
+
+
 def fig9a_comparison_baseline(
     runner: ExperimentRunner,
     apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
     config: GpuConfig = GTX480,
+    orchestrator=None,
 ) -> list[Fig9aRow]:
-    """Figure 9a: OWF vs RFV vs RegMutex, baseline architecture."""
-    rows = []
-    for name in apps:
-        spec = get_app(name)
-        kernel = build_app_kernel(spec)
-        base = runner.run(kernel, config, BaselineTechnique())
-        owf = runner.run(
-            kernel, config, OwfTechnique(), scheduler_priority=owf_priority
-        )
-        rfv = runner.run(kernel, config, RfvTechnique())
-        rm = runner.run(
-            kernel, config, RegMutexTechnique(extended_set_size=spec.expected_es)
-        )
-        rows.append(
-            Fig9aRow(
-                app=name,
-                reduction_owf=owf.reduction_vs(base),
-                reduction_rfv=rfv.reduction_vs(base),
-                reduction_regmutex=rm.reduction_vs(base),
-            )
-        )
-    return rows
+    return _run(fig9a_spec(apps, config), runner, orchestrator)
 
 
 @dataclass(frozen=True)
@@ -268,36 +333,48 @@ class Fig9bRow:
     increase_regmutex: float
 
 
+def fig9b_spec(
+    apps: tuple[str, ...] = REGISTER_RELAXED_APPS,
+    config: GpuConfig = GTX480,
+) -> ExperimentSpec:
+    """Figure 9b: the same comparison on the halved register file."""
+    half = _half(config)
+    plan = [
+        (name,
+         _job(name, config, "baseline"),
+         _job(name, half, "baseline"),
+         _job(name, half, "owf"),
+         _job(name, half, "rfv"),
+         _rm(name, half, get_app(name).expected_es))
+        for name in apps
+    ]
+
+    def build(results: JobResults) -> list[Fig9bRow]:
+        rows = []
+        for name, full_job, bare_job, owf_job, rfv_job, rm_job in plan:
+            full = results[full_job]
+            rows.append(
+                Fig9bRow(
+                    app=name,
+                    increase_none=results[bare_job].increase_vs(full),
+                    increase_owf=results[owf_job].increase_vs(full),
+                    increase_rfv=results[rfv_job].increase_vs(full),
+                    increase_regmutex=results[rm_job].increase_vs(full),
+                )
+            )
+        return rows
+
+    jobs = tuple(j for entry in plan for j in entry[1:])
+    return ExperimentSpec("fig9b", jobs, build)
+
+
 def fig9b_comparison_half_rf(
     runner: ExperimentRunner,
     apps: tuple[str, ...] = REGISTER_RELAXED_APPS,
     config: GpuConfig = GTX480,
+    orchestrator=None,
 ) -> list[Fig9bRow]:
-    """Figure 9b: the same comparison on the halved register file."""
-    half = _half(config)
-    rows = []
-    for name in apps:
-        spec = get_app(name)
-        kernel = build_app_kernel(spec)
-        full = runner.run(kernel, config, BaselineTechnique())
-        bare = runner.run(kernel, half, BaselineTechnique())
-        owf = runner.run(
-            kernel, half, OwfTechnique(), scheduler_priority=owf_priority
-        )
-        rfv = runner.run(kernel, half, RfvTechnique())
-        rm = runner.run(
-            kernel, half, RegMutexTechnique(extended_set_size=spec.expected_es)
-        )
-        rows.append(
-            Fig9bRow(
-                app=name,
-                increase_none=bare.increase_vs(full),
-                increase_owf=owf.increase_vs(full),
-                increase_rfv=rfv.increase_vs(full),
-                increase_regmutex=rm.increase_vs(full),
-            )
-        )
-    return rows
+    return _run(fig9b_spec(apps, config), runner, orchestrator)
 
 
 # ---------------------------------------------------------------------------
@@ -314,31 +391,50 @@ class Fig10Row:
     is_heuristic_pick: bool
 
 
+def fig10_spec(
+    apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
+    config: GpuConfig = GTX480,
+    sweep: tuple[int, ...] = ES_SWEEP,
+) -> ExperimentSpec:
+    """Figure 10: cycle-reduction sensitivity to the forced |Es|."""
+    plan = [
+        (name, get_app(name).expected_es,
+         _job(name, config, "baseline"),
+         tuple((es, _rm(name, config, es)) for es in sweep))
+        for name in apps
+    ]
+
+    def build(results: JobResults) -> list[Fig10Row]:
+        rows = []
+        for name, expected_es, base_job, sweep_jobs in plan:
+            base = results[base_job]
+            for es, rm_job in sweep_jobs:
+                rows.append(
+                    Fig10Row(
+                        app=name,
+                        es=es,
+                        cycle_reduction=results[rm_job].reduction_vs(base),
+                        is_heuristic_pick=(es == expected_es),
+                    )
+                )
+        return rows
+
+    jobs = tuple(
+        j
+        for _, _, base, sweep_jobs in plan
+        for j in (base, *(rm for _, rm in sweep_jobs))
+    )
+    return ExperimentSpec("fig10", jobs, build)
+
+
 def fig10_es_sensitivity(
     runner: ExperimentRunner,
     apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
     config: GpuConfig = GTX480,
     sweep: tuple[int, ...] = ES_SWEEP,
+    orchestrator=None,
 ) -> list[Fig10Row]:
-    """Figure 10: cycle-reduction sensitivity to the forced |Es|."""
-    rows = []
-    for name in apps:
-        spec = get_app(name)
-        kernel = build_app_kernel(spec)
-        base = runner.run(kernel, config, BaselineTechnique())
-        for es in sweep:
-            rm = runner.run(
-                kernel, config, RegMutexTechnique(extended_set_size=es)
-            )
-            rows.append(
-                Fig10Row(
-                    app=name,
-                    es=es,
-                    cycle_reduction=rm.reduction_vs(base),
-                    is_heuristic_pick=(es == spec.expected_es),
-                )
-            )
-    return rows
+    return _run(fig10_spec(apps, config, sweep), runner, orchestrator)
 
 
 @dataclass(frozen=True)
@@ -353,32 +449,49 @@ class Fig11Row:
     active: bool = True
 
 
+def fig11_spec(
+    apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
+    config: GpuConfig = GTX480,
+    sweep: tuple[int, ...] = ES_SWEEP,
+) -> ExperimentSpec:
+    """Figure 11: occupancy and acquire success across the |Es| sweep."""
+    plan = [
+        (name, get_app(name).expected_es,
+         tuple((es, _rm(name, config, es)) for es in sweep))
+        for name in apps
+    ]
+
+    def build(results: JobResults) -> list[Fig11Row]:
+        rows = []
+        for name, expected_es, sweep_jobs in plan:
+            for es, rm_job in sweep_jobs:
+                rm = results[rm_job]
+                rows.append(
+                    Fig11Row(
+                        app=name,
+                        es=es,
+                        theoretical_occupancy=rm.theoretical_occupancy,
+                        acquire_success_rate=rm.acquire_success_rate,
+                        is_heuristic_pick=(es == expected_es),
+                        active=rm.acquire_attempts > 0,
+                    )
+                )
+        return rows
+
+    jobs = tuple(
+        rm for _, _, sweep_jobs in plan for _, rm in sweep_jobs
+    )
+    return ExperimentSpec("fig11", jobs, build)
+
+
 def fig11_occupancy_and_acquires(
     runner: ExperimentRunner,
     apps: tuple[str, ...] = OCCUPANCY_LIMITED_APPS,
     config: GpuConfig = GTX480,
     sweep: tuple[int, ...] = ES_SWEEP,
+    orchestrator=None,
 ) -> list[Fig11Row]:
-    """Figure 11: occupancy and acquire success across the |Es| sweep."""
-    rows = []
-    for name in apps:
-        spec = get_app(name)
-        kernel = build_app_kernel(spec)
-        for es in sweep:
-            rm = runner.run(
-                kernel, config, RegMutexTechnique(extended_set_size=es)
-            )
-            rows.append(
-                Fig11Row(
-                    app=name,
-                    es=es,
-                    theoretical_occupancy=rm.theoretical_occupancy,
-                    acquire_success_rate=rm.acquire_success_rate,
-                    is_heuristic_pick=(es == spec.expected_es),
-                    active=rm.acquire_attempts > 0,
-                )
-            )
-    return rows
+    return _run(fig11_spec(apps, config, sweep), runner, orchestrator)
 
 
 # ---------------------------------------------------------------------------
@@ -393,57 +506,58 @@ class Fig12Row:
     metric_default: float  # same metric under default RegMutex
 
 
-def fig12_paired_warps(
-    runner: ExperimentRunner,
-    config: GpuConfig = GTX480,
-    half_rf: bool = False,
-) -> list[Fig12Row]:
+def fig12_spec(
+    config: GpuConfig = GTX480, half_rf: bool = False
+) -> ExperimentSpec:
     """12(a) when ``half_rf`` is False (occupancy-limited apps, baseline
     arch, cycle *reduction*); 12(b) when True (register-relaxed apps,
     half RF, cycle *increase* vs the full-RF baseline)."""
-    rows = []
-    if not half_rf:
-        for name in OCCUPANCY_LIMITED_APPS:
-            spec = get_app(name)
-            kernel = build_app_kernel(spec)
-            base = runner.run(kernel, config, BaselineTechnique())
-            paired = runner.run(
-                kernel, config,
-                PairedWarpsTechnique(extended_set_size=spec.expected_es),
+    arch = _half(config) if half_rf else config
+    apps = REGISTER_RELAXED_APPS if half_rf else OCCUPANCY_LIMITED_APPS
+    plan = []
+    for name in apps:
+        es = get_app(name).expected_es
+        plan.append(
+            (name,
+             _job(name, config, "baseline"),
+             _job(name, arch, "regmutex-paired", extended_set_size=es),
+             _rm(name, arch, es))
+        )
+
+    def build(results: JobResults) -> list[Fig12Row]:
+        rows = []
+        for name, ref_job, paired_job, default_job in plan:
+            ref = results[ref_job]
+            paired, default = results[paired_job], results[default_job]
+            metric = (
+                paired.increase_vs(ref) if half_rf
+                else paired.reduction_vs(ref)
             )
-            default = runner.run(
-                kernel, config,
-                RegMutexTechnique(extended_set_size=spec.expected_es),
+            metric_default = (
+                default.increase_vs(ref) if half_rf
+                else default.reduction_vs(ref)
             )
             rows.append(
                 Fig12Row(
                     app=name,
-                    metric=paired.reduction_vs(base),
+                    metric=metric,
                     occupancy_paired=paired.theoretical_occupancy,
-                    metric_default=default.reduction_vs(base),
+                    metric_default=metric_default,
                 )
             )
         return rows
-    half = _half(config)
-    for name in REGISTER_RELAXED_APPS:
-        spec = get_app(name)
-        kernel = build_app_kernel(spec)
-        full = runner.run(kernel, config, BaselineTechnique())
-        paired = runner.run(
-            kernel, half, PairedWarpsTechnique(extended_set_size=spec.expected_es)
-        )
-        default = runner.run(
-            kernel, half, RegMutexTechnique(extended_set_size=spec.expected_es)
-        )
-        rows.append(
-            Fig12Row(
-                app=name,
-                metric=paired.increase_vs(full),
-                occupancy_paired=paired.theoretical_occupancy,
-                metric_default=default.increase_vs(full),
-            )
-        )
-    return rows
+
+    jobs = tuple(j for entry in plan for j in entry[1:])
+    return ExperimentSpec("fig12b" if half_rf else "fig12a", jobs, build)
+
+
+def fig12_paired_warps(
+    runner: ExperimentRunner,
+    config: GpuConfig = GTX480,
+    half_rf: bool = False,
+    orchestrator=None,
+) -> list[Fig12Row]:
+    return _run(fig12_spec(config, half_rf), runner, orchestrator)
 
 
 # ---------------------------------------------------------------------------
@@ -460,31 +574,44 @@ class Fig13Row:
     success_paired: float
 
 
-def fig13_acquire_success(
-    runner: ExperimentRunner, config: GpuConfig = GTX480
-) -> list[Fig13Row]:
+def fig13_spec(config: GpuConfig = GTX480) -> ExperimentSpec:
     """Figure 13: acquire success rates, default vs paired, all 16 apps."""
-    rows = []
     half = _half(config)
+    plan = []
     for name in OCCUPANCY_LIMITED_APPS + REGISTER_RELAXED_APPS:
         spec = get_app(name)
-        kernel = build_app_kernel(spec)
         arch = config if spec.group == "occupancy-limited" else half
-        default = runner.run(
-            kernel, arch, RegMutexTechnique(extended_set_size=spec.expected_es)
+        plan.append(
+            (name,
+             "baseline" if spec.group == "occupancy-limited" else "half-rf",
+             _rm(name, arch, spec.expected_es),
+             _job(name, arch, "regmutex-paired",
+                  extended_set_size=spec.expected_es))
         )
-        paired = runner.run(
-            kernel, arch, PairedWarpsTechnique(extended_set_size=spec.expected_es)
-        )
-        rows.append(
-            Fig13Row(
-                app=name,
-                arch="baseline" if spec.group == "occupancy-limited" else "half-rf",
-                success_default=default.acquire_success_rate,
-                success_paired=paired.acquire_success_rate,
+
+    def build(results: JobResults) -> list[Fig13Row]:
+        rows = []
+        for name, arch_label, default_job, paired_job in plan:
+            rows.append(
+                Fig13Row(
+                    app=name,
+                    arch=arch_label,
+                    success_default=results[default_job].acquire_success_rate,
+                    success_paired=results[paired_job].acquire_success_rate,
+                )
             )
-        )
-    return rows
+        return rows
+
+    jobs = tuple(j for entry in plan for j in entry[2:])
+    return ExperimentSpec("fig13", jobs, build)
+
+
+def fig13_acquire_success(
+    runner: ExperimentRunner,
+    config: GpuConfig = GTX480,
+    orchestrator=None,
+) -> list[Fig13Row]:
+    return _run(fig13_spec(config), runner, orchestrator)
 
 
 # ---------------------------------------------------------------------------
@@ -501,3 +628,20 @@ def storage_overhead_comparison(
         "rfv": rfv_storage_bits(config),
         "owf": owf_storage_bits(config),
     }
+
+
+# Zero-argument spec builders for every simulation-backed figure — the
+# orchestrated entry points (`repro bench`, benchmark-session prewarm,
+# EXPERIMENTS.md regeneration) iterate this to get the whole suite's job
+# set in one deduplicated batch.
+FIGURE_SPECS: dict[str, callable] = {
+    "fig7": fig7_spec,
+    "fig8": fig8_spec,
+    "fig9a": fig9a_spec,
+    "fig9b": fig9b_spec,
+    "fig10": fig10_spec,
+    "fig11": fig11_spec,
+    "fig12a": lambda: fig12_spec(half_rf=False),
+    "fig12b": lambda: fig12_spec(half_rf=True),
+    "fig13": fig13_spec,
+}

@@ -1,0 +1,179 @@
+"""Experiment orchestration: dedup, parallel dispatch, cache merge.
+
+The orchestrator sits between declarative :class:`ExperimentSpec`s and
+the :class:`ExperimentRunner`:
+
+1. **Deduplicate.**  The figure suite re-requests many jobs (every
+   figure needs its apps' baselines); the union of all specs' jobs is
+   collected once, in first-declared order.
+2. **Dispatch.**  Jobs missing from the runner's cache are simulated —
+   in-process when ``workers=1``, otherwise fanned out to a
+   ``ProcessPoolExecutor``.  Each (kernel, config, technique) run is
+   independent and CPU-bound, so the suite's wall clock scales with the
+   worker count; results are bit-identical to serial execution because
+   a worker rebuilds the exact same (kernel, technique, seed) triple
+   and runs the same deterministic simulator.
+3. **Merge.**  Worker records are installed into the runner's memo
+   under the same content-hash keys ``runner.run`` would use, then the
+   cache is persisted once (atomic write) for the whole session.
+
+Per-job wall time, cache hits/misses, and worker utilization are
+recorded in a :class:`SessionTelemetry` (``repro bench`` prints it).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, Sequence
+
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.spec import (
+    ExperimentSpec,
+    JobFailure,
+    JobResults,
+    JobSpec,
+    materialize_job,
+)
+from repro.harness.telemetry import (
+    MODE_CACHED,
+    MODE_INLINE,
+    MODE_POOL,
+    SessionTelemetry,
+)
+
+
+def _simulate(job: JobSpec, seed: int, target_ctas_per_sm: int):
+    """Worker-process entry point: run one job from scratch.
+
+    Builds a throwaway cache-less runner so the grid sizing, seeding,
+    and record normalization are exactly the serial path's; returns
+    ``(record | None, error | None, seconds)``.
+    """
+    start = time.perf_counter()
+    runner = ExperimentRunner(
+        target_ctas_per_sm=target_ctas_per_sm, seed=seed
+    )
+    kernel, technique, priority = materialize_job(job)
+    try:
+        record = runner.run(
+            kernel, job.config, technique, scheduler_priority=priority
+        )
+        error = None
+    except RuntimeError as exc:
+        record, error = None, str(exc)
+    return record, error, time.perf_counter() - start
+
+
+class Orchestrator:
+    """Executes experiment specs against one shared runner."""
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        workers: int = 1,
+        telemetry: SessionTelemetry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.runner = runner
+        self.workers = workers
+        self.telemetry = telemetry or SessionTelemetry(workers=workers)
+
+    # -- public API -----------------------------------------------------------
+    def run_specs(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> dict[str, list]:
+        """Run every spec's jobs (deduplicated) and build all rows."""
+        outcomes = self.run_jobs(
+            job for spec in specs for job in spec.jobs
+        )
+        return {
+            spec.name: spec.build_rows(
+                JobResults({job: outcomes[job] for job in spec.jobs})
+            )
+            for spec in specs
+        }
+
+    def run_jobs(self, jobs: Iterable[JobSpec]) -> dict[JobSpec, object]:
+        """Execute a job set; returns JobSpec -> RunRecord | JobFailure."""
+        ordered: dict[JobSpec, None] = {}
+        for job in jobs:
+            ordered.setdefault(job)
+
+        self.telemetry.start()
+        outcomes: dict[JobSpec, object] = {}
+        pending: list[tuple[JobSpec, str]] = []
+        for job in ordered:
+            kernel, technique, _ = materialize_job(job)
+            key = self.runner.key_for(kernel, job.config, technique)
+            record = self.runner.cached(key)
+            if record is not None:
+                self.runner.cache_hits += 1
+                outcomes[job] = record
+                self.telemetry.record(job.label, 0.0, MODE_CACHED)
+            else:
+                self.runner.cache_misses += 1
+                pending.append((job, key))
+
+        if self.workers == 1 or len(pending) <= 1:
+            self._run_inline(pending, outcomes)
+        else:
+            self._run_pool(pending, outcomes)
+
+        self.runner.flush()
+        self.telemetry.finish()
+        return outcomes
+
+    # -- execution backends ---------------------------------------------------
+    def _run_inline(
+        self,
+        pending: Sequence[tuple[JobSpec, str]],
+        outcomes: dict[JobSpec, object],
+    ) -> None:
+        for job, key in pending:
+            record, error, seconds = _simulate(
+                job, self.runner.seed, self.runner.target_ctas_per_sm
+            )
+            self._finish_job(job, key, record, error, seconds, MODE_INLINE,
+                             outcomes)
+
+    def _run_pool(
+        self,
+        pending: Sequence[tuple[JobSpec, str]],
+        outcomes: dict[JobSpec, object],
+    ) -> None:
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _simulate, job, self.runner.seed,
+                    self.runner.target_ctas_per_sm,
+                ): (job, key)
+                for job, key in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job, key = futures[future]
+                    record, error, seconds = future.result()
+                    self._finish_job(job, key, record, error, seconds,
+                                     MODE_POOL, outcomes)
+
+    def _finish_job(
+        self,
+        job: JobSpec,
+        key: str,
+        record: RunRecord | None,
+        error: str | None,
+        seconds: float,
+        mode: str,
+        outcomes: dict[JobSpec, object],
+    ) -> None:
+        if error is not None:
+            outcomes[job] = JobFailure(error)
+        else:
+            self.runner.install(key, record)
+            outcomes[job] = record
+        self.telemetry.record(job.label, seconds, mode, failed=error is not None)

@@ -60,3 +60,34 @@ def format_percent_series(
 def percent(value: float) -> str:
     """Format a fraction as a signed percentage."""
     return f"{value * 100:+.1f}%"
+
+
+def format_telemetry(telemetry, slowest: int = 10) -> str:
+    """Render a :class:`~repro.harness.telemetry.SessionTelemetry` report.
+
+    One summary table (job counts, cache hits/misses, wall vs simulated
+    seconds, worker utilization) followed by the slowest simulated jobs.
+    """
+    summary = format_table(
+        ["metric", "value"],
+        [
+            ["jobs", telemetry.jobs_total],
+            ["cache hits", telemetry.cache_hits],
+            ["cache misses", telemetry.cache_misses],
+            ["failures", telemetry.failures],
+            ["workers", telemetry.workers],
+            ["wall seconds", f"{telemetry.wall_seconds:.2f}"],
+            ["simulated seconds", f"{telemetry.sim_seconds:.2f}"],
+            ["worker utilization", f"{telemetry.utilization():.0%}"],
+        ],
+        title="orchestration telemetry",
+    )
+    jobs = telemetry.slowest(slowest)
+    if not jobs:
+        return summary
+    detail = format_table(
+        ["job", "seconds", "mode"],
+        [[t.label, f"{t.seconds:.2f}", t.mode] for t in jobs],
+        title=f"slowest {len(jobs)} jobs",
+    )
+    return summary + "\n\n" + detail

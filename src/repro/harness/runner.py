@@ -19,6 +19,7 @@ Two problems a naive ``simulate_kernel`` comparison has:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -74,13 +75,34 @@ class RunRecord:
         return -self.reduction_vs(baseline)
 
 
+def _config_fingerprint(config: GpuConfig) -> str:
+    """Field-sorted serialization of a config for cache keys.
+
+    ``repr(config)`` depends on field declaration order and on the
+    dataclass repr implementation; sorting the asdict items makes the
+    key stable across field reordering and unaffected by cosmetic repr
+    changes, while still covering every field's value.
+    """
+    items = sorted(dataclasses.asdict(config).items())
+    return ";".join(f"{k}={v!r}" for k, v in items)
+
+
 def _technique_fingerprint(technique: SharingTechnique) -> str:
-    """A stable description of a technique instance for cache keys."""
+    """A stable description of a technique instance for cache keys.
+
+    Enumerates the technique's *declared* parameters — every instance
+    attribute its constructor set — instead of probing a hard-coded
+    attribute list, so a new technique (or a new parameter on an
+    existing one) participates in the key without touching this module.
+    Class-level ``model_version`` markers (RFV bumps one on semantic
+    changes) are included as well.
+    """
+    params = dict(vars(technique))
+    version = getattr(type(technique), "model_version", None)
+    if version is not None:
+        params.setdefault("model_version", version)
     parts = [technique.name]
-    for attr in ("extended_set_size", "retry_policy", "enable_compaction",
-                 "model_version"):
-        if hasattr(technique, attr):
-            parts.append(f"{attr}={getattr(technique, attr)}")
+    parts.extend(f"{k}={params[k]!r}" for k in sorted(params))
     return ";".join(parts)
 
 
@@ -95,7 +117,10 @@ class ExperimentRunner:
     ) -> None:
         self.target_ctas_per_sm = target_ctas_per_sm
         self.seed = seed
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._memo: dict[str, RunRecord] = {}
+        self._dirty = False
         self._cache_path = cache_path
         if cache_path and os.path.exists(cache_path):
             try:
@@ -112,22 +137,50 @@ class ExperimentRunner:
         payload = "|".join(
             [
                 format_kernel(kernel),
-                repr(config),
+                _config_fingerprint(config),
                 _technique_fingerprint(technique),
                 str(self.seed),
                 str(self.target_ctas_per_sm),
-                "v5",  # bump to invalidate after simulator-semantics changes
+                "v6",  # bump to invalidate after simulator-semantics changes
             ]
         )
         return hashlib.sha256(payload.encode()).hexdigest()
 
-    def _persist(self) -> None:
-        if not self._cache_path:
+    def key_for(
+        self, kernel: Kernel, config: GpuConfig, technique: SharingTechnique
+    ) -> str:
+        """Public cache key (the orchestrator's dedup/install handle)."""
+        return self._key(kernel, config, technique)
+
+    def cached(self, key: str) -> Optional[RunRecord]:
+        """The memoized record for ``key``, if any (no hit accounting)."""
+        return self._memo.get(key)
+
+    def install(self, key: str, record: RunRecord) -> None:
+        """Merge an externally computed record (a worker's result)."""
+        self._memo[key] = record
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Atomically persist the memo to disk, once, if anything changed.
+
+        Persisting used to happen after *every* run — an O(cache) JSON
+        rewrite per simulation.  Callers (CLI, orchestrator, benchmark
+        session, examples) now flush once when their session ends.
+        """
+        if not self._cache_path or not self._dirty:
             return
         tmp = self._cache_path + ".tmp"
         with open(tmp, "w") as fh:
             json.dump({k: asdict(v) for k, v in self._memo.items()}, fh)
         os.replace(tmp, self._cache_path)
+        self._dirty = False
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()
 
     # -- the run -------------------------------------------------------------------
     def run(
@@ -142,7 +195,9 @@ class ExperimentRunner:
         key = self._key(kernel, config, technique)
         cached = self._memo.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
 
         gpu = Gpu(config, technique, seed=self.seed)
         compiled = technique.prepare_kernel(kernel, config)
@@ -170,5 +225,5 @@ class ExperimentRunner:
             stall_memory=total.stall_memory,
         )
         self._memo[key] = record
-        self._persist()
+        self._dirty = True
         return record

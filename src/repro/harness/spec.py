@@ -1,0 +1,190 @@
+"""Declarative experiment specs.
+
+An experiment used to be an imperative driver: a function that called
+:meth:`ExperimentRunner.run` in a loop and assembled rows.  That shape
+hides the experiment's *job set* — which (app, config, technique)
+combinations it needs — so nothing above it can deduplicate work across
+experiments or run independent jobs in parallel.
+
+This module makes the job set first-class:
+
+* :class:`TechniqueSpec` — a picklable, hashable description of a
+  sharing technique (registry kind + constructor parameters), so a job
+  can cross a process boundary without shipping live objects.
+* :class:`JobSpec` — one (app, config, technique) simulation, the unit
+  of deduplication, caching, and parallel dispatch.
+* :class:`ExperimentSpec` — an ordered tuple of jobs plus a row builder
+  that turns the finished :class:`JobResults` into the figure's rows.
+
+:func:`run_experiment` executes a spec serially through a runner (the
+memoized one-process path every driver wrapper uses);
+:class:`repro.harness.orchestrator.Orchestrator` executes many specs at
+once, deduplicating jobs across them and fanning out to worker
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.arch.config import GpuConfig
+from repro.baselines.owf import OwfTechnique, owf_priority
+from repro.baselines.rfv import RfvTechnique
+from repro.regmutex.issue_logic import RegMutexTechnique
+from repro.regmutex.paired import PairedWarpsTechnique
+from repro.sim.technique import BaselineTechnique, SharingTechnique
+from repro.workloads.suite import build_app_kernel, get_app
+
+# kind -> (factory, scheduler priority hook). The factory is called with
+# the spec's params; the priority hook is what the driver used to thread
+# through ``runner.run(..., scheduler_priority=...)``.
+_TECHNIQUES: dict[str, tuple[type, object]] = {
+    "baseline": (BaselineTechnique, None),
+    "regmutex": (RegMutexTechnique, None),
+    "regmutex-paired": (PairedWarpsTechnique, None),
+    "owf": (OwfTechnique, owf_priority),
+    "rfv": (RfvTechnique, None),
+}
+
+
+@dataclass(frozen=True)
+class TechniqueSpec:
+    """Declarative technique: registry kind + sorted constructor params."""
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TECHNIQUES:
+            known = ", ".join(sorted(_TECHNIQUES))
+            raise KeyError(f"unknown technique {self.kind!r} (known: {known})")
+
+    @staticmethod
+    def of(kind: str, **params: object) -> "TechniqueSpec":
+        return TechniqueSpec(kind, tuple(sorted(params.items())))
+
+    def build(self) -> SharingTechnique:
+        factory, _ = _TECHNIQUES[self.kind]
+        return factory(**dict(self.params))
+
+    def scheduler_priority(self):
+        return _TECHNIQUES[self.kind][1]
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.kind
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+
+def technique_kinds() -> tuple[str, ...]:
+    """Registered technique kinds (the CLI's choices)."""
+    return tuple(sorted(_TECHNIQUES))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (app, config, technique) simulation.
+
+    ``app`` names a workload from :mod:`repro.workloads.suite`; keeping
+    it a name (rather than a built kernel) is what makes the job cheap
+    to hash, compare, and pickle to a worker process.
+    """
+
+    app: str
+    config: GpuConfig
+    technique: TechniqueSpec
+
+    @property
+    def label(self) -> str:
+        return f"{self.app}/{self.config.name}/{self.technique}"
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A job that raised instead of producing a record."""
+
+    message: str
+
+
+def materialize_job(job: JobSpec):
+    """Build the live (kernel, technique, scheduler_priority) triple."""
+    kernel = build_app_kernel(get_app(job.app))
+    technique = job.technique.build()
+    return kernel, technique, job.technique.scheduler_priority()
+
+
+def execute_job(job: JobSpec, runner) -> "RunRecord":
+    """Run one job through a runner (memoized, in-process)."""
+    kernel, technique, priority = materialize_job(job)
+    return runner.run(kernel, job.config, technique,
+                      scheduler_priority=priority)
+
+
+class JobResults:
+    """Finished outcomes, indexed by :class:`JobSpec`.
+
+    Indexing a failed job re-raises its error as a ``RuntimeError`` so
+    row builders that never expect failures keep the old driver
+    semantics; failure-tolerant builders (the register-file sweep) check
+    :meth:`failed` first.
+    """
+
+    def __init__(self, outcomes: Mapping[JobSpec, object]) -> None:
+        self._outcomes = dict(outcomes)
+
+    def __getitem__(self, job: JobSpec):
+        outcome = self._outcomes[job]
+        if isinstance(outcome, JobFailure):
+            raise RuntimeError(outcome.message)
+        return outcome
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self._outcomes)
+
+    def __contains__(self, job: JobSpec) -> bool:
+        return job in self._outcomes
+
+    def failed(self, job: JobSpec) -> bool:
+        return isinstance(self._outcomes[job], JobFailure)
+
+    def error(self, job: JobSpec) -> str | None:
+        outcome = self._outcomes[job]
+        return outcome.message if isinstance(outcome, JobFailure) else None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named experiment: ordered jobs + a row builder."""
+
+    name: str
+    jobs: tuple[JobSpec, ...]
+    build_rows: Callable[[JobResults], list] = field(compare=False)
+
+    def unique_jobs(self) -> tuple[JobSpec, ...]:
+        seen: dict[JobSpec, None] = {}
+        for job in self.jobs:
+            seen.setdefault(job)
+        return tuple(seen)
+
+
+def run_experiment(spec: ExperimentSpec, runner) -> list:
+    """Execute a spec serially (declared job order) and build its rows.
+
+    Jobs run through ``runner.run`` so the runner's memo/disk cache is
+    shared with every other execution path; failures are captured per
+    job and surface when (and only when) the row builder touches them.
+    """
+    outcomes: dict[JobSpec, object] = {}
+    for job in spec.jobs:
+        if job in outcomes:
+            continue
+        try:
+            outcomes[job] = execute_job(job, runner)
+        except RuntimeError as exc:
+            outcomes[job] = JobFailure(str(exc))
+    return spec.build_rows(JobResults(outcomes))

@@ -1,0 +1,89 @@
+"""Run telemetry for the orchestration layer.
+
+The orchestrator records one :class:`JobTiming` per job — how long it
+took, whether it came from cache, and where it executed — plus the
+session's wall time.  :class:`SessionTelemetry` aggregates those into
+the numbers ``repro bench`` reports: cache hit/miss counts, total
+simulation time, and worker utilization (simulated seconds divided by
+``workers x wall seconds``, i.e. how full the pool's issue slots were).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+# Where a job's result came from.
+MODE_CACHED = "cached"    # found in the runner's memo/disk cache
+MODE_INLINE = "inline"    # simulated in the orchestrating process
+MODE_POOL = "pool"        # simulated in a worker process
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """One job's execution record."""
+
+    label: str
+    seconds: float
+    mode: str
+    failed: bool = False
+
+    @property
+    def cached(self) -> bool:
+        return self.mode == MODE_CACHED
+
+
+@dataclass
+class SessionTelemetry:
+    """Aggregated timings for one orchestration session."""
+
+    workers: int = 1
+    timings: list[JobTiming] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    _started_at: float | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        self._started_at = time.perf_counter()
+
+    def finish(self) -> None:
+        if self._started_at is not None:
+            self.wall_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def record(self, label: str, seconds: float, mode: str,
+               failed: bool = False) -> None:
+        self.timings.append(JobTiming(label, seconds, mode, failed))
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def jobs_total(self) -> int:
+        return len(self.timings)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.timings if t.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for t in self.timings if not t.cached)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for t in self.timings if t.failed)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Summed per-job simulation time (cache hits contribute ~0)."""
+        return sum(t.seconds for t in self.timings if not t.cached)
+
+    def utilization(self) -> float:
+        """Fraction of the pool's capacity spent simulating."""
+        if self.wall_seconds <= 0.0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.sim_seconds / (self.workers * self.wall_seconds))
+
+    def slowest(self, n: int = 10) -> list[JobTiming]:
+        """The ``n`` slowest simulated (non-cached) jobs."""
+        simulated = [t for t in self.timings if not t.cached]
+        return sorted(simulated, key=lambda t: -t.seconds)[:n]

@@ -94,6 +94,7 @@ class StreamingMultiprocessor:
             for i in range(config.num_schedulers)
         ]
         self.resident_ctas: list[Cta] = []
+        self._ctas_by_id: dict[int, Cta] = {}
         self._warps_by_scheduler: list[list[Warp]] = [
             [] for _ in range(config.num_schedulers)
         ]
@@ -137,7 +138,9 @@ class StreamingMultiprocessor:
                 self._next_warp_id % self.config.num_schedulers
             ].append(warp)
             self._next_warp_id += 1
-        self.resident_ctas.append(Cta(self._next_cta_seq, warps))
+        cta = Cta(self._next_cta_seq, warps)
+        self.resident_ctas.append(cta)
+        self._ctas_by_id[cta.cta_id] = cta
         self._next_cta_seq += 1
         self.ctas_pending -= 1
         self.stats.ctas_launched += 1
@@ -145,12 +148,14 @@ class StreamingMultiprocessor:
 
     def _retire_cta(self, cta: Cta) -> None:
         self.resident_ctas.remove(cta)
+        del self._ctas_by_id[cta.cta_id]
         for warp in cta.warps:
             self.scoreboard.remove_warp(warp.warp_id)
-            for sched, warps in zip(self.schedulers, self._warps_by_scheduler):
-                if warp in warps:
-                    warps.remove(warp)
-                    sched.notify_removed(warp)
+            # Warps were partitioned by id at launch; the owning
+            # scheduler slot is derivable, so only its list is touched.
+            slot = warp.warp_id % self.config.num_schedulers
+            self._warps_by_scheduler[slot].remove(warp)
+            self.schedulers[slot].notify_removed(warp)
 
     # -- per-cycle machinery ------------------------------------------------------
     @property
@@ -222,13 +227,7 @@ class StreamingMultiprocessor:
             if inst.is_exit:
                 warp.finish()
                 self.technique.on_warp_finish(warp, cycle)
-                cta = self.resident_ctas[
-                    next(
-                        i
-                        for i, c in enumerate(self.resident_ctas)
-                        if c.cta_id == warp.cta_id
-                    )
-                ]
+                cta = self._ctas_by_id[warp.cta_id]
                 if cta.finished:
                     self._retire_cta(cta)
                     self._fill_ctas()
@@ -237,9 +236,7 @@ class StreamingMultiprocessor:
             return
 
         if inst.op_class is OpClass.BARRIER:
-            cta = next(
-                c for c in self.resident_ctas if c.cta_id == warp.cta_id
-            )
+            cta = self._ctas_by_id[warp.cta_id]
             warp.advance(warp.pc + 1)  # resume past the barrier when released
             cta.arrive_at_barrier(warp)
             return

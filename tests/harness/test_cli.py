@@ -46,6 +46,36 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "NopeApp"])
 
+    def test_bench_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["--cache", str(tmp_path / "c.json"),
+                  "bench", "--figures", "fig99"])
+
+    def test_bench_renders_telemetry(self, capsys, tmp_path, monkeypatch):
+        # Swap the figure registry for one tiny spec so the bench path
+        # (orchestrate -> build rows -> telemetry report) stays cheap.
+        from repro.arch.config import fermi_like
+        from repro.harness import experiments as E
+
+        cfg = fermi_like(
+            name="cli-bench", num_sms=1, max_warps_per_sm=8,
+            max_ctas_per_sm=2, max_threads_per_sm=256,
+            registers_per_sm=8192, dram_latency=60, l1_hit_latency=8,
+        )
+        monkeypatch.setattr(
+            E, "FIGURE_SPECS",
+            {"fig7": lambda: E.fig7_spec(("Gaussian",), cfg)},
+        )
+        assert main([
+            "--cache", str(tmp_path / "c.json"),
+            "--workers", "2", "bench",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "orchestration telemetry" in out
+        assert "cache misses" in out
+        assert "slowest" in out
+
     def test_run_single_app(self, capsys, tmp_path):
         # Mini end-to-end through the CLI; uses the real GTX480 but the
         # smallest app and the cache keeps re-runs free.

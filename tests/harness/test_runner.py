@@ -65,12 +65,29 @@ class TestExperimentRunner:
 
     def test_disk_cache_roundtrip(self, cfg, tmp_path):
         path = str(tmp_path / "cache.json")
-        r1 = ExperimentRunner(target_ctas_per_sm=4, cache_path=path).run(
-            straightline_kernel(), cfg, BaselineTechnique()
-        )
+        first = ExperimentRunner(target_ctas_per_sm=4, cache_path=path)
+        r1 = first.run(straightline_kernel(), cfg, BaselineTechnique())
+        first.flush()
         fresh = ExperimentRunner(target_ctas_per_sm=4, cache_path=path)
         r2 = fresh.run(straightline_kernel(), cfg, BaselineTechnique())
         assert r1 == r2
+        assert fresh.cache_hits == 1  # served from disk, not re-simulated
+
+    def test_flush_is_deferred_until_requested(self, cfg, tmp_path):
+        import os
+        path = str(tmp_path / "cache.json")
+        runner = ExperimentRunner(target_ctas_per_sm=4, cache_path=path)
+        runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        assert not os.path.exists(path)  # no write-per-run
+        runner.flush()
+        assert os.path.exists(path)
+
+    def test_context_manager_flushes_on_exit(self, cfg, tmp_path):
+        import os
+        path = str(tmp_path / "cache.json")
+        with ExperimentRunner(target_ctas_per_sm=4, cache_path=path) as r:
+            r.run(straightline_kernel(), cfg, BaselineTechnique())
+        assert os.path.exists(path)
 
     def test_corrupt_cache_tolerated(self, cfg, tmp_path):
         path = tmp_path / "cache.json"
@@ -88,6 +105,48 @@ class TestExperimentRunner:
             memory_kernel(), cfg, BaselineTechnique()
         )
         assert a.cycles != b.cycles
+
+
+class TestCacheKeyStability:
+    """Cache keys must depend on every config field and every declared
+    technique parameter — and on nothing incidental (like dataclass
+    repr formatting or attribute declaration order)."""
+
+    def test_any_config_field_change_invalidates(self, cfg):
+        import dataclasses
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        kernel = straightline_kernel()
+        base_key = runner.key_for(kernel, cfg, BaselineTechnique())
+        for field in ("num_sms", "max_warps_per_sm", "registers_per_sm",
+                      "dram_latency"):
+            bumped = dataclasses.replace(cfg, **{field: getattr(cfg, field) * 2})
+            assert runner.key_for(kernel, bumped, BaselineTechnique()) != \
+                base_key, field
+
+    def test_technique_param_change_invalidates(self, cfg):
+        from repro.regmutex.issue_logic import RegMutexTechnique
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        kernel = straightline_kernel()
+        keys = {
+            runner.key_for(kernel, cfg, RegMutexTechnique(extended_set_size=es))
+            for es in (4, 6, 8)
+        }
+        assert len(keys) == 3
+        assert runner.key_for(kernel, cfg, BaselineTechnique()) not in keys
+
+    def test_key_is_deterministic_across_runners(self, cfg):
+        kernel = straightline_kernel()
+        a = ExperimentRunner(target_ctas_per_sm=4)
+        b = ExperimentRunner(target_ctas_per_sm=4)
+        assert a.key_for(kernel, cfg, BaselineTechnique()) == \
+            b.key_for(kernel, cfg, BaselineTechnique())
+
+    def test_hit_miss_counters(self, cfg):
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        runner.run(straightline_kernel(), cfg, BaselineTechnique())
+        assert runner.cache_misses == 1
+        assert runner.cache_hits == 1
 
 
 class TestCacheFormatContract:
