@@ -43,6 +43,16 @@ class GpuConfig:
     # register accesses are covered by a held SRP section (the dynamic
     # twin of repro.compiler.verification's static proof).
     runtime_safety_checks: bool = False
+    # Deadlock watchdog: raise SimulationDeadlockError (with a state
+    # snapshot) when no warp advances its pc for this many cycles.  Set
+    # far above any legitimate stall (the longest is one DRAM round
+    # trip) but far below the 50M-cycle hard limit, so a livelocked
+    # schedule is diagnosed in seconds, not minutes.  0 disables.
+    watchdog_window: int = 20_000
+    # Debug knob: run the installed technique's structural invariant
+    # checks (SRP bitmask/LUT/status consistency) every cycle, raising
+    # InvariantViolationError at the first inconsistent state.
+    debug_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.warp_size <= 0 or self.num_sms <= 0:
@@ -55,6 +65,8 @@ class GpuConfig:
             raise ValueError(f"unknown scheduler policy {self.scheduler_policy!r}")
         if not 0.0 <= self.l1_hit_rate <= 1.0:
             raise ValueError("l1_hit_rate must lie in [0, 1]")
+        if self.watchdog_window < 0:
+            raise ValueError("watchdog_window must be >= 0 (0 disables)")
 
     @property
     def registers_per_sm_per_thread_slot(self) -> int:

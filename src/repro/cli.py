@@ -9,6 +9,7 @@ Usage::
     python -m repro storage
     python -m repro run BFS --technique regmutex [--half-rf] [--es 6]
     python -m repro bench [--figures fig7,fig9a] [--workers 8]
+    python -m repro faults [--seed 7] [--skip-harness]
 
 ``run`` executes a single (app, technique) pair and prints the raw
 record — the quickest way to poke at one configuration.  ``bench``
@@ -17,6 +18,11 @@ deduplicated across figures, dispatched to ``--workers`` processes, and
 a telemetry report (per-job timings, cache hits/misses, worker
 utilization) is printed at the end.  ``--workers N`` on a figure
 command parallelizes just that figure.
+
+``faults`` runs the deterministic fault-injection campaign
+(:mod:`repro.faults.campaign`): every registered fault kind is armed
+against its layer and the detection-rate table (injected vs detected vs
+escaped) is printed; the exit code is non-zero if any fault escaped.
 """
 
 from __future__ import annotations
@@ -60,6 +66,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for simulation jobs (default: %(default)s)",
     )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job timeout on the worker pool (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max extra attempts after a transient worker crash "
+             "(default: %(default)s)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments and apps")
@@ -83,6 +98,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "--csv", default=None, metavar="PATH",
             help="also export the rows to a CSV file",
         )
+
+    faults = sub.add_parser(
+        "faults",
+        help="run the fault-injection campaign and print the "
+             "detection-rate table (exit 1 if any fault escapes)",
+    )
+    faults.add_argument("--seed", type=int, default=2018,
+                        help="campaign seed (default: %(default)s)")
+    faults.add_argument(
+        "--skip-harness", action="store_true",
+        help="skip the orchestrator/worker-pool scenarios "
+             "(they spawn real processes and take a few seconds)",
+    )
 
     run = sub.add_parser("run", help="run one app under one technique")
     run.add_argument("app", choices=sorted(APPLICATIONS))
@@ -167,7 +195,10 @@ def _cmd_bench(args, runner: ExperimentRunner) -> int:
     else:
         names = list(E.FIGURE_SPECS)
     specs = [E.FIGURE_SPECS[n]() for n in names]
-    orch = Orchestrator(runner, workers=args.workers)
+    orch = Orchestrator(
+        runner, workers=args.workers,
+        job_timeout=args.job_timeout, max_retries=args.retries,
+    )
     rows_by_name = orch.run_specs(specs)
     print(format_table(
         ["figure", "rows"],
@@ -176,6 +207,19 @@ def _cmd_bench(args, runner: ExperimentRunner) -> int:
     print()
     print(format_telemetry(orch.telemetry))
     return 0
+
+
+def _cmd_faults(args) -> int:
+    """Run the fault-injection campaign; exit 1 if anything escapes."""
+    from repro.faults.campaign import campaign_table, run_campaign
+
+    outcomes = run_campaign(
+        seed=args.seed,
+        include_harness=not args.skip_harness,
+        workers=max(2, args.workers),
+    )
+    print(campaign_table(outcomes))
+    return 1 if any(o.escaped for o in outcomes) else 0
 
 
 def _cmd_experiment(name: str, args, runner: ExperimentRunner) -> int:
@@ -207,7 +251,10 @@ def _cmd_experiment(name: str, args, runner: ExperimentRunner) -> int:
     kwargs = {"apps": apps} if apps else {}
     extra = {}
     if args.workers > 1:
-        extra["orchestrator"] = Orchestrator(runner, workers=args.workers)
+        extra["orchestrator"] = Orchestrator(
+            runner, workers=args.workers,
+            job_timeout=args.job_timeout, max_retries=args.retries,
+        )
     kwargs.update(extra)
     if name == "fig7":
         rows = E.fig7_occupancy_boost(runner, **kwargs)
@@ -285,6 +332,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "faults":
+        return _cmd_faults(args)
     with ExperimentRunner(cache_path=args.cache) as runner:
         if args.command == "run":
             return _cmd_run(args, runner)

@@ -1,0 +1,138 @@
+"""Typed failure taxonomy shared by the simulator and the harness.
+
+The simulator used to signal every abnormal outcome — a genuine
+deadlock, a runaway kernel hitting the cycle limit, a kernel that does
+not fit on the device — as a bare ``RuntimeError``, which left the
+harness unable to tell "this configuration deterministically cannot
+run" from "something broke".  This module gives each failure mode a
+type and a machine-readable ``kind`` string that survives a process
+boundary (workers ship ``(kind, message)`` tuples back to the
+orchestrator) and shows up attributed in telemetry and the ``repro
+bench`` report.
+
+Every class subclasses :class:`RuntimeError` so pre-taxonomy callers
+(``except RuntimeError``) keep working unchanged.
+
+:class:`DeadlockDiagnostic` is the structured snapshot a
+:class:`SimulationDeadlockError` carries: enough per-warp, SRP, and
+scoreboard state to diagnose a stuck schedule without re-running the
+simulation under a debugger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# Failure kinds produced by the *harness* rather than the simulator.
+# Simulator kinds are the ``kind`` class attributes below.
+FAILURE_TIMEOUT = "timeout"
+FAILURE_WORKER_CRASH = "worker-crash"
+FAILURE_RUNTIME = "runtime-error"
+
+
+@dataclass(frozen=True)
+class WarpSnapshot:
+    """One warp's state at the moment a deadlock was diagnosed."""
+
+    warp_id: int
+    cta_id: int
+    pc: int
+    status: str                      # WarpStatus.value
+    stalled_on: Optional[str]
+    wake_cycle: int
+    holds_extended_set: bool
+    srp_section: Optional[int]
+
+
+@dataclass(frozen=True)
+class DeadlockDiagnostic:
+    """Snapshot of an SM with no forward progress.
+
+    ``technique`` is the installed technique state's
+    ``debug_snapshot()`` — for RegMutex that is the SRP bitmask/LUT,
+    section accounting, and the acquire wait queue.
+    """
+
+    sm_id: int
+    cycle: int
+    last_progress_cycle: int
+    warps: tuple[WarpSnapshot, ...] = ()
+    scoreboard_pending: dict = field(default_factory=dict)
+    technique: dict = field(default_factory=dict)
+
+    def blocked_on_acquire(self) -> tuple[int, ...]:
+        """Warp ids parked in the acquire wait state."""
+        return tuple(
+            w.warp_id for w in self.warps if w.status == "wait_acquire"
+        )
+
+    def summary(self) -> str:
+        by_status: dict[str, int] = {}
+        for w in self.warps:
+            by_status[w.status] = by_status.get(w.status, 0) + 1
+        statuses = ", ".join(f"{k}={v}" for k, v in sorted(by_status.items()))
+        parts = [
+            f"SM {self.sm_id} cycle {self.cycle} "
+            f"(last progress at {self.last_progress_cycle})",
+            f"warps: {statuses or 'none'}",
+        ]
+        if self.technique:
+            srp = self.technique
+            if "sections_in_use" in srp:
+                parts.append(
+                    f"SRP: {srp['sections_in_use']}/{srp.get('num_sections')} "
+                    f"sections held, bitmask={srp.get('srp_bitmask'):#x}, "
+                    f"wait queue={srp.get('wait_queue')}"
+                )
+        return "; ".join(parts)
+
+
+class SimulationError(RuntimeError):
+    """Base class for deterministic simulator failures.
+
+    Deterministic means: re-running the identical (kernel, config,
+    technique, seed) job reproduces the failure — so the harness must
+    *not* retry it (unlike a worker crash, which is environmental).
+    """
+
+    kind = "simulation-error"
+
+    def __init__(
+        self, message: str, diagnostic: DeadlockDiagnostic | dict | None = None
+    ) -> None:
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+class SimulationDeadlockError(SimulationError):
+    """No warp can ever issue again, or nothing made forward progress
+    for the watchdog window — the schedule is stuck."""
+
+    kind = "deadlock"
+
+
+class CycleLimitExceededError(SimulationError):
+    """The hard ``max_cycles`` backstop tripped (runaway kernel, or a
+    livelock the watchdog was configured not to catch)."""
+
+    kind = "cycle-limit"
+
+
+class InvariantViolationError(SimulationError):
+    """A hardware-structure consistency check failed (e.g. the SRP
+    bitmask, LUT, and warp-status bitmask disagree)."""
+
+    kind = "invariant-violation"
+
+
+class KernelPlacementError(SimulationError):
+    """The kernel (or kernel mix) cannot be placed on the device at
+    all — zero CTAs fit."""
+
+    kind = "placement"
+
+
+class FaultInjectionError(RuntimeError):
+    """A fault campaign was misconfigured (unknown fault kind, no
+    injection site in the target kernel)."""

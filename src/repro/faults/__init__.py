@@ -1,0 +1,33 @@
+"""Fault injection for the RegMutex stack (see :mod:`repro.faults.injector`).
+
+Deliberately does NOT import :mod:`repro.faults.campaign` here: campaign
+pulls in the harness, and the harness registers
+:class:`FaultyWorkerTechnique` from this package — importing it eagerly
+would make the import graph circular.
+"""
+
+from repro.faults.injector import (
+    FAULT_KINDS,
+    FaultKind,
+    FaultSpec,
+    FaultingRegMutexState,
+    FaultingRegMutexTechnique,
+    FaultyWorkerTechnique,
+    corrupt_cache_file,
+    drop_release,
+    fault_kinds,
+    insert_acquire,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultKind",
+    "FaultSpec",
+    "FaultingRegMutexState",
+    "FaultingRegMutexTechnique",
+    "FaultyWorkerTechnique",
+    "corrupt_cache_file",
+    "drop_release",
+    "fault_kinds",
+    "insert_acquire",
+]

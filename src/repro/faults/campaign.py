@@ -1,0 +1,411 @@
+"""Deterministic fault-injection campaign (``repro faults``).
+
+Arms every registered fault kind (:mod:`repro.faults.injector`) against
+the layer that must catch it, and reports injected vs detected vs
+escaped:
+
+* SRP/compiler faults run a small contended RegMutex workload on a
+  1-SM device and must be caught by the simulator's failure detectors —
+  the no-timer deadlock check, the progress watchdog, or the per-cycle
+  invariant checker — with a structured diagnostic, well before the
+  hard cycle limit.
+* Harness faults run real jobs through the :class:`Orchestrator` and
+  must be absorbed (transient crash → retried to success) or attributed
+  (deterministic error → typed :class:`JobFailure`, hang → timeout).
+* Cache faults damage a real on-disk result cache and must be caught by
+  the runner's load-time validation (``.corrupt`` backup or per-entry
+  quarantine) without poisoning results.
+
+Everything is a pure function of ``seed``: injection sites are event
+ordinals, the simulator is deterministic, and worker retry outcomes are
+forced by marker files — so a campaign run is reproducible evidence,
+not a flaky smoke test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+import shutil
+import tempfile
+from dataclasses import dataclass
+
+from repro.arch.config import GpuConfig, fermi_like
+from repro.errors import (
+    CycleLimitExceededError,
+    DeadlockDiagnostic,
+    InvariantViolationError,
+    SimulationDeadlockError,
+    SimulationError,
+)
+from repro.faults.injector import FaultSpec, FaultingRegMutexTechnique, corrupt_cache_file
+from repro.harness.orchestrator import Orchestrator
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.spec import JobFailure, JobSpec, TechniqueSpec
+from repro.isa.builder import KernelBuilder
+from repro.isa.kernel import Kernel
+from repro.sim.gpu import Gpu
+from repro.sim.technique import BaselineTechnique
+
+# Campaign-wide detection deadline: a deadlock-class fault must be
+# caught far below this, or it counts as escaped.  Well under the
+# production 50M-cycle backstop so an escape costs milliseconds, and
+# comfortably above the watchdog window so the watchdog gets its shot.
+DETECTION_DEADLINE_CYCLES = 100_000
+
+# One tiny SM with real contention: 4 CTAs x 2 warps fill all 8 slots.
+CAMPAIGN_CONFIG = fermi_like(
+    name="fault-campaign",
+    num_sms=1,
+    max_warps_per_sm=8,
+    max_ctas_per_sm=4,
+    max_threads_per_sm=512,
+    registers_per_sm=2048,
+    dram_latency=60,
+    l1_hit_latency=8,
+)
+
+# Small device for the harness-level jobs (real workload apps).
+HARNESS_CONFIG = fermi_like(
+    name="fault-harness",
+    num_sms=1,
+    max_warps_per_sm=16,
+    max_ctas_per_sm=4,
+    max_threads_per_sm=512,
+    registers_per_sm=8192,
+    dram_latency=60,
+    l1_hit_latency=8,
+)
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """One campaign row: what was injected and who (if anyone) caught it."""
+
+    scenario: str
+    fault: str
+    layer: str
+    detected: bool
+    detector: str       # which mechanism caught it ("" when escaped)
+    cycles: int | None  # detection cycle for simulator faults
+    detail: str
+
+    @property
+    def escaped(self) -> bool:
+        return not self.detected
+
+
+def detection_rate(outcomes: list[FaultOutcome]) -> float:
+    if not outcomes:
+        return 1.0
+    return sum(1 for o in outcomes if o.detected) / len(outcomes)
+
+
+# -- simulator-layer scenarios -----------------------------------------------------
+def _probe_kernel(hold_across_barrier: bool = False) -> Kernel:
+    """A pre-instrumented acquire/work/release kernel (|Bs|=|Es|=4).
+
+    ``hold_across_barrier`` places a barrier after the release; the
+    unbalanced-acquire transform then strips the release, leaving a warp
+    holding its section at the barrier while its CTA-mate starves on
+    acquire — the circular wait the compiler's deadlock-avoidance rules
+    exist to prevent.
+    """
+    b = KernelBuilder(name="fault-probe", regs_per_thread=8, threads_per_cta=64)
+    for reg in range(4):
+        b.ldc(reg)
+    b.acquire()
+    b.alu(4, 0, 1)
+    b.alu(5, 2, 3)
+    b.alu(6, 4, 5)
+    b.alu(7, 6, 0)
+    b.release()
+    if hold_across_barrier:
+        b.barrier()
+    b.store(0, 7)
+    b.exit()
+    return b.build().with_metadata(base_set_size=4, extended_set_size=4)
+
+
+def _detection_cycle(exc: SimulationError) -> int | None:
+    if isinstance(exc.diagnostic, DeadlockDiagnostic):
+        return exc.diagnostic.cycle
+    match = re.search(r"cycle (\d+)", str(exc))
+    return int(match.group(1)) if match else None
+
+
+def _run_sim_scenario(
+    scenario: str,
+    fault: FaultSpec,
+    seed: int,
+    *,
+    kernel: Kernel,
+    retry_policy: str,
+    config: GpuConfig = CAMPAIGN_CONFIG,
+    forced_sections: int | None = 1,
+) -> FaultOutcome:
+    technique = FaultingRegMutexTechnique(
+        fault, retry_policy=retry_policy, forced_sections=forced_sections
+    )
+    gpu = Gpu(config, technique, seed=seed)
+    try:
+        gpu.launch(kernel, grid_ctas=8, max_cycles=DETECTION_DEADLINE_CYCLES)
+    except CycleLimitExceededError as exc:
+        # Reaching the deadline without a structured verdict IS the
+        # escape this campaign exists to rule out.
+        return FaultOutcome(
+            scenario, fault.kind, fault.layer, detected=False, detector="",
+            cycles=_detection_cycle(exc),
+            detail="ran to the detection deadline undetected",
+        )
+    except SimulationError as exc:
+        if isinstance(exc, InvariantViolationError):
+            detector = "invariant-checker"
+        elif isinstance(exc, SimulationDeadlockError):
+            detector = (
+                "watchdog" if "watchdog" in str(exc) else "deadlock-check"
+            )
+        else:
+            detector = type(exc).__name__
+        has_diag = exc.diagnostic is not None
+        return FaultOutcome(
+            scenario, fault.kind, fault.layer,
+            detected=has_diag, detector=detector,
+            cycles=_detection_cycle(exc),
+            detail=str(exc).split(";")[0],
+        )
+    except RuntimeError as exc:
+        return FaultOutcome(
+            scenario, fault.kind, fault.layer, detected=False, detector="",
+            cycles=None, detail=f"escaped as bare {type(exc).__name__}: {exc}",
+        )
+    return FaultOutcome(
+        scenario, fault.kind, fault.layer, detected=False, detector="",
+        cycles=None, detail="simulation completed as if nothing happened",
+    )
+
+
+def _sim_scenarios(seed: int) -> list[FaultOutcome]:
+    plain = _probe_kernel()
+    barrier = _probe_kernel(hold_across_barrier=True)
+    return [
+        # Lost release, wakeup policy: every waiter parks with no timer
+        # pending — the no-timer deadlock check must fire.
+        _run_sim_scenario(
+            "lost-release/wakeup",
+            FaultSpec("dropped-release", trigger=0, seed=seed),
+            seed, kernel=plain, retry_policy="wakeup",
+        ),
+        # Lost release, eager policy: waiters keep re-polling on backoff
+        # timers, so there is never a timer-free cycle — only the
+        # progress watchdog can see this livelock.
+        _run_sim_scenario(
+            "lost-release/eager",
+            FaultSpec("dropped-release", trigger=0, seed=seed),
+            seed, kernel=plain, retry_policy="eager",
+        ),
+        # Miscompiled kernel: acquire with no matching release, held
+        # across a barrier — circular wait between CTA-mates.
+        _run_sim_scenario(
+            "unbalanced-acquire/barrier",
+            FaultSpec("unbalanced-acquire", trigger=0, seed=seed),
+            seed, kernel=barrier, retry_policy="wakeup",
+        ),
+        # Flipped SRP bit with the invariant checker armed: caught at
+        # the first inconsistent cycle, long before any deadlock forms.
+        _run_sim_scenario(
+            "srp-bit-flip/invariants",
+            FaultSpec("srp-bit-corruption", trigger=2, seed=seed),
+            seed, kernel=plain, retry_policy="wakeup",
+            config=dataclasses.replace(CAMPAIGN_CONFIG, debug_invariants=True),
+            forced_sections=2,
+        ),
+    ]
+
+
+# -- harness-layer scenarios -------------------------------------------------------
+def _harness_scenarios(seed: int, workers: int, workdir: str) -> list[FaultOutcome]:
+    outcomes = []
+
+    # Transient worker crash: first dispatch dies via os._exit, the
+    # marker file makes the retry clean — the batch must complete.
+    marker = os.path.join(workdir, "crash.marker")
+    crash_job = JobSpec(
+        app="Gaussian", config=HARNESS_CONFIG,
+        technique=TechniqueSpec.of(
+            "faulty-worker", mode="worker-crash", marker_path=marker
+        ),
+    )
+    orch = Orchestrator(
+        ExperimentRunner(target_ctas_per_sm=2, seed=seed),
+        workers=max(2, workers), max_retries=2, retry_backoff=0.01,
+    )
+    result = orch.run_jobs([crash_job])[crash_job]
+    recovered = isinstance(result, RunRecord)
+    retries = orch.telemetry.retries
+    outcomes.append(FaultOutcome(
+        "worker-crash/retry", "worker-crash", "harness",
+        detected=recovered and retries >= 1,
+        detector="retry" if recovered else "",
+        cycles=None,
+        detail=(
+            f"recovered after {retries} retr{'y' if retries == 1 else 'ies'}"
+            if recovered else f"batch did not complete: {result}"
+        ),
+    ))
+
+    # Deterministic simulation error: must surface as a typed failure
+    # on the FIRST attempt — retrying determinism is wasted work.
+    error_job = JobSpec(
+        app="Gaussian", config=HARNESS_CONFIG,
+        technique=TechniqueSpec.of("faulty-worker", mode="sim-error"),
+    )
+    orch = Orchestrator(
+        ExperimentRunner(target_ctas_per_sm=2, seed=seed),
+        workers=max(2, workers), max_retries=2, retry_backoff=0.01,
+    )
+    result = orch.run_jobs([error_job])[error_job]
+    attributed = (
+        isinstance(result, JobFailure)
+        and result.kind == "simulation-error"
+        and result.attempts == 1
+    )
+    outcomes.append(FaultOutcome(
+        "sim-error/no-retry", "sim-error", "harness",
+        detected=attributed,
+        detector="failure-taxonomy" if attributed else "",
+        cycles=None,
+        detail=(
+            f"JobFailure(kind={result.kind!r}, attempts={result.attempts})"
+            if isinstance(result, JobFailure)
+            else f"unexpected outcome {type(result).__name__}"
+        ),
+    ))
+
+    # Hung worker: the per-job timeout must cut it loose.
+    sleep_job = JobSpec(
+        app="Gaussian", config=HARNESS_CONFIG,
+        technique=TechniqueSpec.of(
+            "faulty-worker", mode="worker-sleep", delay_seconds=5.0
+        ),
+    )
+    orch = Orchestrator(
+        ExperimentRunner(target_ctas_per_sm=2, seed=seed),
+        workers=max(2, workers), job_timeout=0.75, max_retries=0,
+    )
+    result = orch.run_jobs([sleep_job])[sleep_job]
+    timed_out = isinstance(result, JobFailure) and result.kind == "timeout"
+    outcomes.append(FaultOutcome(
+        "worker-hang/timeout", "worker-sleep", "harness",
+        detected=timed_out,
+        detector="job-timeout" if timed_out else "",
+        cycles=None,
+        detail=(
+            f"JobFailure(kind={result.kind!r})"
+            if isinstance(result, JobFailure)
+            else f"unexpected outcome {type(result).__name__}"
+        ),
+    ))
+
+    return outcomes
+
+
+# -- cache-layer scenarios ---------------------------------------------------------
+def _seed_cache(path: str, seed: int) -> None:
+    with ExperimentRunner(target_ctas_per_sm=2, seed=seed, cache_path=path) as r:
+        r.run(_probe_kernel(), CAMPAIGN_CONFIG, BaselineTechnique())
+
+
+def _cache_scenarios(seed: int, workdir: str) -> list[FaultOutcome]:
+    import warnings as warnings_mod
+
+    outcomes = []
+    cases = [
+        ("cache-truncate", "torn write"),
+        ("cache-garbage", "non-JSON overwrite"),
+        ("cache-poison-entry", "silent record bit-rot"),
+    ]
+    for kind, label in cases:
+        path = os.path.join(workdir, f"{kind}.json")
+        _seed_cache(path, seed)
+        corrupt_cache_file(path, kind, seed=seed)
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            runner = ExperimentRunner(
+                target_ctas_per_sm=2, seed=seed, cache_path=path
+            )
+        warned = len(caught) > 0
+        if kind == "cache-poison-entry":
+            detected = runner.quarantined_entries == 1 and warned
+            detector = "checksum-quarantine"
+            detail = (
+                f"{runner.quarantined_entries} entry quarantined to "
+                f"{os.path.basename(path)}.quarantine.json"
+            )
+        else:
+            backed_up = os.path.exists(path + ".corrupt")
+            detected = backed_up and warned and not runner._memo
+            detector = "load-validation"
+            detail = f"{label} preserved at {os.path.basename(path)}.corrupt"
+        if not detected:
+            detail = f"{label} was silently accepted"
+        outcomes.append(FaultOutcome(
+            f"{kind}/reload", kind, "cache",
+            detected=detected,
+            detector=detector if detected else "",
+            cycles=None, detail=detail,
+        ))
+    return outcomes
+
+
+# -- entry point -------------------------------------------------------------------
+def run_campaign(
+    seed: int = 2018,
+    include_harness: bool = True,
+    workers: int = 2,
+) -> list[FaultOutcome]:
+    """Run the full campaign; returns one :class:`FaultOutcome` per scenario.
+
+    ``include_harness=False`` skips the orchestrator/pool scenarios
+    (which spawn real worker processes and take a few seconds) — the
+    simulator and cache layers alone run in well under a second.
+    """
+    outcomes = _sim_scenarios(seed)
+    workdir = tempfile.mkdtemp(prefix="regmutex-faults-")
+    try:
+        outcomes.extend(_cache_scenarios(seed, workdir))
+        if include_harness:
+            outcomes.extend(_harness_scenarios(seed, workers, workdir))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return outcomes
+
+
+def campaign_table(outcomes: list[FaultOutcome]) -> str:
+    """The ``repro faults`` report: per-scenario verdicts + totals."""
+    from repro.harness.reporting import format_table
+
+    rows = [
+        [
+            o.scenario,
+            o.layer,
+            "detected" if o.detected else "ESCAPED",
+            o.detector or "-",
+            o.cycles if o.cycles is not None else "-",
+            o.detail,
+        ]
+        for o in outcomes
+    ]
+    table = format_table(
+        ["scenario", "layer", "verdict", "detector", "cycle", "detail"],
+        rows,
+        title="fault-injection campaign",
+    )
+    escaped = sum(1 for o in outcomes if o.escaped)
+    summary = (
+        f"\n{len(outcomes)} faults injected, "
+        f"{len(outcomes) - escaped} detected, {escaped} escaped "
+        f"(detection rate {detection_rate(outcomes):.0%})"
+    )
+    return table + summary

@@ -1,0 +1,368 @@
+"""Deterministic fault injection across the stack.
+
+RegMutex's correctness rests on invariants the happy path never tests:
+the compiler's two deadlock-avoidance rules, the SRP bitmask/LUT
+consistency, and the harness's assumption that workers return.  This
+module *breaks each of them on purpose*, deterministically, so the
+detection machinery (the SM watchdog, ``Srp.check_invariants``, the
+orchestrator's retry/timeout logic, the cache checksums) can be proven
+to catch them — the related register-sharing literature (Jatala et
+al., RegDem) is full of livelock/starvation modes that only fault
+campaigns surface.
+
+Fault kinds (see :data:`FAULT_KINDS`):
+
+* ``dropped-release`` — a RELEASE is "lost in flight" at the SRP: the
+  warp-side state clears but the section bit stays set, leaking the
+  section forever.
+* ``srp-bit-corruption`` — a bit of the SRP bitmask flips (a free
+  section is marked taken), desynchronizing bitmask and LUT.
+* ``unbalanced-acquire`` — the compiler emits an acquire with no
+  matching release (:func:`drop_release` on the compiled kernel), the
+  exact bug the paper's |Es|-selection rules exist to avoid.
+* ``worker-crash`` / ``sim-error`` / ``worker-sleep`` — harness-level
+  faults via :class:`FaultyWorkerTechnique`: a worker process dies
+  hard (transient — retried), raises a deterministic simulation error
+  (never retried), or hangs past the per-job timeout.
+* ``cache-truncate`` / ``cache-garbage`` / ``cache-poison-entry`` —
+  on-disk cache damage via :func:`corrupt_cache_file`, caught by the
+  runner's checksum validation and quarantine.
+
+Every injection site is an *event ordinal* (the Nth release, the Nth
+acquire attempt), not a wall-clock or cycle trigger, so a campaign is
+bit-reproducible under a seed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+
+from repro.arch.config import GpuConfig
+from repro.errors import FaultInjectionError, SimulationError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.kernel import Kernel
+from repro.regmutex.issue_logic import RegMutexSmState, RegMutexTechnique
+from repro.sim.stats import SmStats
+from repro.sim.technique import BaselineTechnique
+from repro.sim.warp import Warp
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """Registry entry: where a fault lives and what it corrupts."""
+
+    name: str
+    layer: str  # "srp" | "compiler" | "harness" | "cache"
+    description: str
+
+
+FAULT_KINDS: dict[str, FaultKind] = {
+    k.name: k
+    for k in (
+        FaultKind("dropped-release", "srp",
+                  "a RELEASE is lost in flight; the section leaks"),
+        FaultKind("srp-bit-corruption", "srp",
+                  "an SRP bitmask bit flips out from under the LUT"),
+        FaultKind("unbalanced-acquire", "compiler",
+                  "the compiled kernel acquires without releasing"),
+        FaultKind("worker-crash", "harness",
+                  "a pool worker process dies mid-job (transient)"),
+        FaultKind("sim-error", "harness",
+                  "a job fails deterministically inside the worker"),
+        FaultKind("worker-sleep", "harness",
+                  "a worker hangs past the per-job timeout"),
+        FaultKind("cache-truncate", "cache",
+                  "the cache file is cut short mid-record"),
+        FaultKind("cache-garbage", "cache",
+                  "the cache file is overwritten with non-JSON bytes"),
+        FaultKind("cache-poison-entry", "cache",
+                  "one cache record is altered without its checksum"),
+    )
+}
+
+
+def fault_kinds() -> tuple[str, ...]:
+    return tuple(sorted(FAULT_KINDS))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: a registered kind plus its deterministic trigger.
+
+    ``trigger`` is an event ordinal — the Nth occurrence of the fault's
+    target event (release, acquire attempt, …) fires the injection.
+    ``seed`` feeds any remaining choice (e.g. which bit to flip) so a
+    campaign replays bit-identically.
+    """
+
+    kind: str
+    trigger: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(fault_kinds())
+            raise FaultInjectionError(
+                f"unknown fault kind {self.kind!r} (known: {known})"
+            )
+        if self.trigger < 0:
+            raise FaultInjectionError("trigger ordinal must be >= 0")
+
+    @property
+    def layer(self) -> str:
+        return FAULT_KINDS[self.kind].layer
+
+
+# -- compiler-level faults: kernel transforms --------------------------------------
+def drop_release(kernel: Kernel, occurrence: int = 0) -> Kernel:
+    """Remove the Nth RELEASE instruction (an unbalanced acquire).
+
+    A boundary label on the removed RELEASE migrates to the following
+    instruction so branch targets stay valid; a candidate whose
+    successor already carries a label is skipped (removing it would
+    require merging labels, which no real miscompile would do).
+    """
+    candidates = [
+        pc for pc, inst in enumerate(kernel)
+        if inst.opcode is Opcode.RELEASE
+        and (inst.label is None
+             or (pc + 1 < len(kernel) and kernel[pc + 1].label is None))
+    ]
+    if not candidates:
+        raise FaultInjectionError(
+            f"kernel {kernel.name!r} has no removable RELEASE to drop"
+        )
+    target = candidates[occurrence % len(candidates)]
+    moved_label = kernel[target].label
+    new_instructions: list[Instruction] = []
+    for pc, inst in enumerate(kernel):
+        if pc == target:
+            continue
+        if pc == target + 1 and moved_label is not None:
+            inst = replace(inst, label=moved_label)
+        new_instructions.append(inst)
+    return kernel.with_instructions(new_instructions)
+
+
+def insert_acquire(kernel: Kernel, before_pc: int) -> Kernel:
+    """Insert a spurious ACQUIRE before ``before_pc`` (the other
+    unbalanced shape: an extra acquire the release count never matches).
+    The displaced instruction's label moves onto the ACQUIRE so branch
+    targets execute it — mirroring the real injector's label rule."""
+    if not 0 <= before_pc < len(kernel):
+        raise FaultInjectionError(f"pc {before_pc} outside kernel")
+    new_instructions: list[Instruction] = []
+    for pc, inst in enumerate(kernel):
+        if pc == before_pc:
+            new_instructions.append(
+                Instruction(Opcode.ACQUIRE, label=inst.label)
+            )
+            inst = replace(inst, label=None)
+        new_instructions.append(inst)
+    return kernel.with_instructions(new_instructions)
+
+
+# -- SRP-level faults: a sabotaged RegMutex SM state -------------------------------
+class FaultingRegMutexState(RegMutexSmState):
+    """RegMutex per-SM state with one armed hardware fault.
+
+    Behaves identically to the real state until the armed event
+    ordinal, then corrupts the SRP through
+    ``Srp.corrupt_for_fault_injection`` — after which detection is the
+    watchdog's and invariant checker's problem, exactly as it would be
+    on real silicon.
+    """
+
+    def __init__(self, *args, fault: FaultSpec, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fault = fault
+        self._releases_seen = 0
+        self._acquires_seen = 0
+        self.fault_fired_at: int | None = None
+
+    def try_acquire(self, warp: Warp, cycle: int) -> bool:
+        if (
+            self.fault.kind == "srp-bit-corruption"
+            and self.fault_fired_at is None
+            and self._acquires_seen >= self.fault.trigger
+        ):
+            # Fires at the first acquire at-or-after the trigger ordinal
+            # where a section bit is actually clear (a flip of an
+            # already-set bit would be invisible); FFZ is a pure
+            # function of the bitmask, so the site stays deterministic.
+            free = self.srp.srp_bitmask.find_first_zero()
+            if free is not None:
+                # The flipped bit marks a free section as taken; the
+                # LUT says nobody holds it.
+                self.srp.corrupt_for_fault_injection(
+                    set_section_bits=(free,)
+                )
+                self.fault_fired_at = cycle
+        self._acquires_seen += 1
+        return super().try_acquire(warp, cycle)
+
+    def release(self, warp: Warp, cycle: int) -> None:
+        if (
+            self.fault.kind == "dropped-release"
+            and self.fault_fired_at is None
+            and self._releases_seen == self.fault.trigger
+            and warp.holds_extended_set
+        ):
+            self._releases_seen += 1
+            slot = warp.warp_id % self.config.max_warps_per_sm
+            # The release never reaches the SRP: the warp believes it
+            # released (and the pipeline advances it), but the section
+            # bit stays set and no waiter is woken.
+            self.srp.corrupt_for_fault_injection(clear_slots=(slot,))
+            warp.holds_extended_set = False
+            warp.srp_section = None
+            self.fault_fired_at = cycle
+            return
+        self._releases_seen += 1
+        super().release(warp, cycle)
+
+    def debug_snapshot(self) -> dict:
+        snapshot = super().debug_snapshot()
+        snapshot["fault"] = {
+            "kind": self.fault.kind,
+            "trigger": self.fault.trigger,
+            "fired_at": self.fault_fired_at,
+        }
+        return snapshot
+
+
+class FaultingRegMutexTechnique(RegMutexTechnique):
+    """RegMutex with a fault armed — the campaign's simulator entry.
+
+    Accepts pre-instrumented kernels (``uses_regmutex`` already set) so
+    campaign scenarios can hand-place acquire/release/barrier shapes
+    the compiler's deadlock rules would (correctly) refuse to emit;
+    ``forced_sections`` pins the SRP size to create contention on tiny
+    configs.
+    """
+
+    name = "regmutex-faulty"
+
+    def __init__(
+        self,
+        fault: FaultSpec,
+        extended_set_size: int | None = None,
+        retry_policy: str = "wakeup",
+        forced_sections: int | None = None,
+    ) -> None:
+        super().__init__(
+            extended_set_size=extended_set_size, retry_policy=retry_policy
+        )
+        self.fault = fault
+        self.forced_sections = forced_sections
+
+    def prepare_kernel(self, kernel: Kernel, config: GpuConfig) -> Kernel:
+        if kernel.metadata.uses_regmutex:
+            compiled = kernel  # pre-instrumented scenario kernel
+        else:
+            compiled = super().prepare_kernel(kernel, config)
+        if self.fault.kind == "unbalanced-acquire":
+            compiled = drop_release(compiled, occurrence=self.fault.seed)
+        return compiled
+
+    def num_sections(self, kernel: Kernel, config: GpuConfig) -> int:
+        if self.forced_sections is not None:
+            return self.forced_sections
+        return super().num_sections(kernel, config)
+
+    def make_sm_state(
+        self, kernel: Kernel, config: GpuConfig, stats: SmStats
+    ) -> FaultingRegMutexState:
+        return FaultingRegMutexState(
+            kernel,
+            config,
+            stats,
+            num_sections=self.num_sections(kernel, config),
+            retry_policy=self.retry_policy,
+            fault=self.fault,
+        )
+
+
+# -- harness-level faults: a technique that sabotages its worker -------------------
+class FaultyWorkerTechnique(BaselineTechnique):
+    """Baseline behaviour, plus one harness fault at kernel-prepare time.
+
+    ``prepare_kernel`` runs inside the worker process (the orchestrator
+    only fingerprints the technique in the parent), so this is the
+    deterministic way to kill, fail, or hang a specific pool worker:
+
+    * ``worker-crash`` — ``os._exit`` unless ``marker_path`` exists;
+      the first attempt writes the marker and dies, the retry runs
+      clean.  Models a transient environmental crash (OOM kill, node
+      preemption).
+    * ``sim-error`` — raise :class:`SimulationError`; deterministic, so
+      the orchestrator must NOT retry it.
+    * ``worker-sleep`` — sleep ``delay_seconds`` to trip the per-job
+      timeout.
+    """
+
+    name = "faulty-worker"
+
+    def __init__(
+        self,
+        mode: str = "worker-crash",
+        marker_path: str = "",
+        delay_seconds: float = 0.0,
+        message: str = "injected deterministic simulation failure",
+    ) -> None:
+        if mode not in ("worker-crash", "sim-error", "worker-sleep"):
+            raise FaultInjectionError(f"unknown worker fault mode {mode!r}")
+        if mode == "worker-crash" and not marker_path:
+            # Without a marker the crash would repeat on every retry
+            # (and kill the orchestrating process itself in inline mode).
+            raise FaultInjectionError(
+                "worker-crash mode requires a marker_path"
+            )
+        self.mode = mode
+        self.marker_path = marker_path
+        self.delay_seconds = delay_seconds
+        self.message = message
+
+    def prepare_kernel(self, kernel: Kernel, config: GpuConfig) -> Kernel:
+        if self.mode == "worker-crash":
+            if not os.path.exists(self.marker_path):
+                with open(self.marker_path, "w") as fh:
+                    fh.write(str(os.getpid()))
+                os._exit(23)  # hard death: no exception crosses the pipe
+        elif self.mode == "sim-error":
+            raise SimulationError(self.message)
+        elif self.mode == "worker-sleep" and self.delay_seconds > 0:
+            time.sleep(self.delay_seconds)
+        return kernel
+
+
+# -- cache-level faults ------------------------------------------------------------
+def corrupt_cache_file(path: str, kind: str, seed: int = 0) -> None:
+    """Damage an on-disk result cache in one of three deterministic ways."""
+    import json
+
+    if kind == "cache-truncate":
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+    elif kind == "cache-garbage":
+        with open(path, "w") as fh:
+            fh.write("{this is not json" + "x" * (seed % 7))
+    elif kind == "cache-poison-entry":
+        with open(path) as fh:
+            raw = json.load(fh)
+        entries = raw.get("entries", raw)
+        if not entries:
+            raise FaultInjectionError(f"cache {path!r} has no entries to poison")
+        key = sorted(entries)[seed % len(entries)]
+        entry = entries[key]
+        record = entry.get("record", entry)
+        # Flip a result field without touching the stored checksum —
+        # the signature of silent bit-rot or a torn write.
+        record["cycles"] = int(record.get("cycles", 0)) + 1
+        with open(path, "w") as fh:
+            json.dump(raw, fh)
+    else:
+        raise FaultInjectionError(f"unknown cache fault kind {kind!r}")

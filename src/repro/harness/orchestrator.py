@@ -17,16 +17,46 @@ the :class:`ExperimentRunner`:
    under the same content-hash keys ``runner.run`` would use, then the
    cache is persisted once (atomic write) for the whole session.
 
-Per-job wall time, cache hits/misses, and worker utilization are
-recorded in a :class:`SessionTelemetry` (``repro bench`` prints it).
+Failure handling distinguishes three regimes:
+
+* **Deterministic simulator errors** (deadlock, cycle limit, invariant
+  violation, placement — any :class:`SimulationError`): re-running the
+  same deterministic job reproduces them bit-for-bit, so they are
+  *never* retried.  They surface as a typed :class:`JobFailure` whose
+  ``kind`` comes from the exception taxonomy.
+* **Worker crashes** (a pool process dies — OOM kill, preemption,
+  hard fault): transient and environmental.  The broken pool poisons
+  every unfinished future without attributing the crash, so all
+  unfinished jobs are resubmitted to a fresh pool, with exponential
+  backoff, up to ``max_retries`` extra attempts each.
+* **Timeouts** (``job_timeout`` seconds pass with a round's jobs still
+  in flight): the wedged pool is abandoned (not joined — a hung worker
+  would block shutdown forever) and the unfinished jobs fail with kind
+  ``timeout``.  Not retried: a hang long enough to trip the watchdog
+  timeout would cost another full timeout to re-confirm.
+
+Per-job wall time, attempts, cache hits/misses, failure kinds, and
+worker utilization are recorded in a :class:`SessionTelemetry`
+(``repro bench`` prints it).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from typing import Iterable, Sequence
 
+from repro.errors import (
+    FAILURE_RUNTIME,
+    FAILURE_TIMEOUT,
+    FAILURE_WORKER_CRASH,
+    SimulationError,
+)
 from repro.harness.runner import ExperimentRunner, RunRecord
 from repro.harness.spec import (
     ExperimentSpec,
@@ -48,7 +78,9 @@ def _simulate(job: JobSpec, seed: int, target_ctas_per_sm: int):
 
     Builds a throwaway cache-less runner so the grid sizing, seeding,
     and record normalization are exactly the serial path's; returns
-    ``(record | None, error | None, seconds)``.
+    ``(record | None, (kind, message) | None, seconds)``.  Failures are
+    returned (not raised) so the parent can distinguish a deterministic
+    simulation error from the worker process itself dying.
     """
     start = time.perf_counter()
     runner = ExperimentRunner(
@@ -59,10 +91,12 @@ def _simulate(job: JobSpec, seed: int, target_ctas_per_sm: int):
         record = runner.run(
             kernel, job.config, technique, scheduler_priority=priority
         )
-        error = None
+        failure = None
+    except SimulationError as exc:
+        record, failure = None, (exc.kind, str(exc))
     except RuntimeError as exc:
-        record, error = None, str(exc)
-    return record, error, time.perf_counter() - start
+        record, failure = None, (FAILURE_RUNTIME, str(exc))
+    return record, failure, time.perf_counter() - start
 
 
 class Orchestrator:
@@ -73,11 +107,21 @@ class Orchestrator:
         runner: ExperimentRunner,
         workers: int = 1,
         telemetry: SessionTelemetry | None = None,
+        job_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.runner = runner
         self.workers = workers
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self.telemetry = telemetry or SessionTelemetry(workers=workers)
 
     # -- public API -----------------------------------------------------------
@@ -116,7 +160,9 @@ class Orchestrator:
                 self.runner.cache_misses += 1
                 pending.append((job, key))
 
-        if self.workers == 1 or len(pending) <= 1:
+        # workers > 1 always uses the pool, even for one job: process
+        # isolation is what contains a crashing or hanging worker.
+        if self.workers == 1 or not pending:
             self._run_inline(pending, outcomes)
         else:
             self._run_pool(pending, outcomes)
@@ -132,10 +178,10 @@ class Orchestrator:
         outcomes: dict[JobSpec, object],
     ) -> None:
         for job, key in pending:
-            record, error, seconds = _simulate(
+            record, failure, seconds = _simulate(
                 job, self.runner.seed, self.runner.target_ctas_per_sm
             )
-            self._finish_job(job, key, record, error, seconds, MODE_INLINE,
+            self._finish_job(job, key, record, failure, seconds, MODE_INLINE,
                              outcomes)
 
     def _run_pool(
@@ -143,37 +189,122 @@ class Orchestrator:
         pending: Sequence[tuple[JobSpec, str]],
         outcomes: dict[JobSpec, object],
     ) -> None:
-        max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(
-                    _simulate, job, self.runner.seed,
-                    self.runner.target_ctas_per_sm,
-                ): (job, key)
-                for job, key in pending
-            }
-            remaining = set(futures)
+        queue = [(job, key, 1) for job, key in pending]
+        round_no = 0
+        while queue:
+            if round_no > 0:
+                # Exponential backoff before re-dispatching crashed work.
+                time.sleep(self.retry_backoff * (2 ** (round_no - 1)))
+            queue = self._run_pool_round(queue, outcomes)
+            round_no += 1
+
+    def _run_pool_round(
+        self,
+        batch: Sequence[tuple[JobSpec, str, int]],
+        outcomes: dict[JobSpec, object],
+    ) -> list[tuple[JobSpec, str, int]]:
+        """One dispatch round on a fresh pool; returns jobs to retry.
+
+        A fresh pool per round is mandatory, not a convenience: a crash
+        breaks the executor permanently (every later submit raises),
+        and a timed-out round leaves workers possibly wedged — the old
+        pool is abandoned with ``shutdown(wait=False)`` rather than
+        joined.
+        """
+        pool = ProcessPoolExecutor(max_workers=min(self.workers, len(batch)))
+        futures = {
+            pool.submit(
+                _simulate, job, self.runner.seed,
+                self.runner.target_ctas_per_sm,
+            ): (job, key, attempt)
+            for job, key, attempt in batch
+        }
+        remaining = set(futures)
+        deadline = (
+            time.monotonic() + self.job_timeout if self.job_timeout else None
+        )
+        retry: list[tuple[JobSpec, str, int]] = []
+        abandoned = False
+        try:
             while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                timeout = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                done, remaining = wait(
+                    remaining, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # job_timeout elapsed with work still in flight:
+                    # declare the stragglers timed out and abandon the
+                    # (possibly wedged) pool.
+                    for future in remaining:
+                        job, key, attempt = futures[future]
+                        self._finish_job(
+                            job, key, None,
+                            (FAILURE_TIMEOUT,
+                             f"job still running after {self.job_timeout:.1f}s "
+                             "timeout; worker abandoned"),
+                            self.job_timeout, MODE_POOL, outcomes,
+                            attempts=attempt,
+                        )
+                    remaining = set()
+                    abandoned = True
+                    break
                 for future in done:
-                    job, key = futures[future]
-                    record, error, seconds = future.result()
-                    self._finish_job(job, key, record, error, seconds,
-                                     MODE_POOL, outcomes)
+                    job, key, attempt = futures[future]
+                    try:
+                        record, failure, seconds = future.result()
+                    except BrokenExecutor as exc:
+                        # The worker process died.  The pool cannot say
+                        # *which* job killed it — every unfinished
+                        # future is poisoned — so each poisoned job is
+                        # retried as potentially innocent.
+                        if attempt <= self.max_retries:
+                            retry.append((job, key, attempt + 1))
+                        else:
+                            self._finish_job(
+                                job, key, None,
+                                (FAILURE_WORKER_CRASH,
+                                 f"worker process died ({exc}); "
+                                 f"gave up after {attempt} attempts"),
+                                0.0, MODE_POOL, outcomes, attempts=attempt,
+                            )
+                        continue
+                    self._finish_job(job, key, record, failure, seconds,
+                                     MODE_POOL, outcomes, attempts=attempt)
+        finally:
+            if abandoned:
+                # Every unfinished job was already declared timed out,
+                # so the workers (wedged or not) have no results anyone
+                # will read — kill them.  Without this, the executor's
+                # atexit hook would join the hung processes and block
+                # interpreter shutdown for as long as they stay wedged.
+                for proc in getattr(pool, "_processes", {}).values():
+                    proc.terminate()
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+        return retry
 
     def _finish_job(
         self,
         job: JobSpec,
         key: str,
         record: RunRecord | None,
-        error: str | None,
+        failure: tuple[str, str] | None,
         seconds: float,
         mode: str,
         outcomes: dict[JobSpec, object],
+        attempts: int = 1,
     ) -> None:
-        if error is not None:
-            outcomes[job] = JobFailure(error)
+        if failure is not None:
+            kind, message = failure
+            outcomes[job] = JobFailure(message, kind=kind, attempts=attempts)
         else:
             self.runner.install(key, record)
             outcomes[job] = record
-        self.telemetry.record(job.label, seconds, mode, failed=error is not None)
+        self.telemetry.record(
+            job.label, seconds, mode,
+            failed=failure is not None,
+            failure_kind=failure[0] if failure else None,
+            attempts=attempts,
+        )

@@ -75,6 +75,7 @@ def format_telemetry(telemetry, slowest: int = 10) -> str:
             ["cache hits", telemetry.cache_hits],
             ["cache misses", telemetry.cache_misses],
             ["failures", telemetry.failures],
+            ["retries", telemetry.retries],
             ["workers", telemetry.workers],
             ["wall seconds", f"{telemetry.wall_seconds:.2f}"],
             ["simulated seconds", f"{telemetry.sim_seconds:.2f}"],
@@ -82,6 +83,13 @@ def format_telemetry(telemetry, slowest: int = 10) -> str:
         ],
         title="orchestration telemetry",
     )
+    by_kind = telemetry.failures_by_kind()
+    if by_kind:
+        summary += "\n\n" + format_table(
+            ["failure kind", "count"],
+            [[kind, count] for kind, count in by_kind.items()],
+            title="failures by kind",
+        )
     jobs = telemetry.slowest(slowest)
     if not jobs:
         return summary

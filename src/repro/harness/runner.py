@@ -23,6 +23,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Optional
 
@@ -75,6 +76,18 @@ class RunRecord:
         return -self.reduction_vs(baseline)
 
 
+# On-disk cache layout version.  v2 wraps every record with a content
+# checksum so bit-rot / torn writes are caught per entry (and quarantined)
+# instead of silently trusted or fatally wiping the whole cache.
+CACHE_FORMAT_VERSION = 2
+
+
+def _record_checksum(fields: dict) -> str:
+    """Content hash of a serialized RunRecord (sorted-key canonical JSON)."""
+    canonical = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def _config_fingerprint(config: GpuConfig) -> str:
     """Field-sorted serialization of a config for cache keys.
 
@@ -122,15 +135,84 @@ class ExperimentRunner:
         self._memo: dict[str, RunRecord] = {}
         self._dirty = False
         self._cache_path = cache_path
+        self.quarantined_entries = 0
         if cache_path and os.path.exists(cache_path):
-            try:
-                with open(cache_path) as fh:
-                    raw = json.load(fh)
-                self._memo = {k: RunRecord(**v) for k, v in raw.items()}
-            except (json.JSONDecodeError, TypeError, OSError):
-                self._memo = {}  # corrupt cache: start fresh
+            self._load_cache(cache_path)
 
     # -- cache plumbing ---------------------------------------------------------
+    def _load_cache(self, cache_path: str) -> None:
+        """Load the disk cache, validating every entry.
+
+        An unparseable file is preserved (not destroyed) at
+        ``<path>.corrupt`` so the evidence survives for diagnosis, and
+        the session starts fresh.  A parseable file with individually
+        bad entries — checksum mismatch, schema drift — loses only
+        those entries: each is appended to ``<path>.quarantine.json``
+        and the rest of the cache is kept, instead of the old behaviour
+        of silently wiping the whole memo.
+        """
+        try:
+            with open(cache_path) as fh:
+                raw = json.load(fh)
+            if not isinstance(raw, dict):
+                raise TypeError(f"cache root is {type(raw).__name__}, not dict")
+        except (json.JSONDecodeError, TypeError, OSError) as exc:
+            backup = cache_path + ".corrupt"
+            try:
+                os.replace(cache_path, backup)
+            except OSError:
+                backup = "<unmovable>"
+            warnings.warn(
+                f"result cache {cache_path!r} is unreadable ({exc}); "
+                f"preserved at {backup!r}, starting with an empty cache",
+                stacklevel=2,
+            )
+            return
+
+        if raw.get("__cache_format__") == CACHE_FORMAT_VERSION:
+            entries = raw.get("entries", {})
+            checked = True
+        else:
+            # Legacy v1 layout: a bare {key: record-dict} mapping with
+            # no checksums.  Load best-effort and mark dirty so the
+            # next flush rewrites it in the checksummed format.
+            entries = {k: {"record": v} for k, v in raw.items()}
+            checked = False
+            self._dirty = True
+
+        bad: dict[str, object] = {}
+        for key, entry in entries.items():
+            try:
+                fields = entry["record"]
+                if checked and entry.get("checksum") != _record_checksum(fields):
+                    raise ValueError("checksum mismatch")
+                self._memo[key] = RunRecord(**fields)
+            except (KeyError, TypeError, ValueError) as exc:
+                bad[key] = {"entry": entry, "reason": str(exc)}
+        if bad:
+            self._quarantine(cache_path, bad)
+            self._dirty = True
+
+    def _quarantine(self, cache_path: str, bad: dict[str, object]) -> None:
+        """Append invalid entries to ``<path>.quarantine.json`` and warn."""
+        self.quarantined_entries += len(bad)
+        quarantine_path = cache_path + ".quarantine.json"
+        existing: dict[str, object] = {}
+        try:
+            with open(quarantine_path) as fh:
+                existing = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            pass
+        existing.update(bad)
+        with open(quarantine_path, "w") as fh:
+            json.dump(existing, fh, indent=2)
+        warnings.warn(
+            f"result cache {cache_path!r}: {len(bad)} invalid "
+            f"entr{'y' if len(bad) == 1 else 'ies'} quarantined to "
+            f"{quarantine_path!r}; they will be recomputed",
+            stacklevel=3,
+        )
+
     def _key(
         self, kernel: Kernel, config: GpuConfig, technique: SharingTechnique
     ) -> str:
@@ -170,9 +252,16 @@ class ExperimentRunner:
         """
         if not self._cache_path or not self._dirty:
             return
+        payload = {
+            "__cache_format__": CACHE_FORMAT_VERSION,
+            "entries": {
+                k: {"record": asdict(v), "checksum": _record_checksum(asdict(v))}
+                for k, v in self._memo.items()
+            },
+        }
         tmp = self._cache_path + ".tmp"
         with open(tmp, "w") as fh:
-            json.dump({k: asdict(v) for k, v in self._memo.items()}, fh)
+            json.dump(payload, fh)
         os.replace(tmp, self._cache_path)
         self._dirty = False
 

@@ -31,6 +31,8 @@ from typing import Callable, Iterator, Mapping
 from repro.arch.config import GpuConfig
 from repro.baselines.owf import OwfTechnique, owf_priority
 from repro.baselines.rfv import RfvTechnique
+from repro.errors import FAILURE_RUNTIME, SimulationError
+from repro.faults.injector import FaultyWorkerTechnique
 from repro.regmutex.issue_logic import RegMutexTechnique
 from repro.regmutex.paired import PairedWarpsTechnique
 from repro.sim.technique import BaselineTechnique, SharingTechnique
@@ -39,12 +41,16 @@ from repro.workloads.suite import build_app_kernel, get_app
 # kind -> (factory, scheduler priority hook). The factory is called with
 # the spec's params; the priority hook is what the driver used to thread
 # through ``runner.run(..., scheduler_priority=...)``.
+# "faulty-worker" is baseline behaviour plus an injected harness fault
+# (crash / deterministic error / hang) — the fault campaign's probe for
+# the orchestrator's retry, attribution, and timeout machinery.
 _TECHNIQUES: dict[str, tuple[type, object]] = {
     "baseline": (BaselineTechnique, None),
     "regmutex": (RegMutexTechnique, None),
     "regmutex-paired": (PairedWarpsTechnique, None),
     "owf": (OwfTechnique, owf_priority),
     "rfv": (RfvTechnique, None),
+    "faulty-worker": (FaultyWorkerTechnique, None),
 }
 
 
@@ -103,9 +109,18 @@ class JobSpec:
 
 @dataclass(frozen=True)
 class JobFailure:
-    """A job that raised instead of producing a record."""
+    """A job that raised instead of producing a record.
+
+    ``kind`` classifies the failure (the :mod:`repro.errors` taxonomy:
+    ``deadlock``, ``cycle-limit``, ``invariant-violation``,
+    ``placement``, ``runtime-error``, ``worker-crash``, ``timeout``);
+    ``attempts`` counts how many times the job was dispatched before
+    the orchestrator gave up (>1 only for transient worker crashes).
+    """
 
     message: str
+    kind: str = "error"
+    attempts: int = 1
 
 
 def materialize_job(job: JobSpec):
@@ -185,6 +200,8 @@ def run_experiment(spec: ExperimentSpec, runner) -> list:
             continue
         try:
             outcomes[job] = execute_job(job, runner)
+        except SimulationError as exc:
+            outcomes[job] = JobFailure(str(exc), kind=exc.kind)
         except RuntimeError as exc:
-            outcomes[job] = JobFailure(str(exc))
+            outcomes[job] = JobFailure(str(exc), kind=FAILURE_RUNTIME)
     return spec.build_rows(JobResults(outcomes))

@@ -21,12 +21,19 @@ MODE_POOL = "pool"        # simulated in a worker process
 
 @dataclass(frozen=True)
 class JobTiming:
-    """One job's execution record."""
+    """One job's execution record.
+
+    ``failure_kind`` carries the :mod:`repro.errors` taxonomy label when
+    the job failed; ``attempts`` counts dispatches (>1 after retries of
+    transient worker crashes).
+    """
 
     label: str
     seconds: float
     mode: str
     failed: bool = False
+    failure_kind: str | None = None
+    attempts: int = 1
 
     @property
     def cached(self) -> bool:
@@ -52,8 +59,11 @@ class SessionTelemetry:
             self._started_at = None
 
     def record(self, label: str, seconds: float, mode: str,
-               failed: bool = False) -> None:
-        self.timings.append(JobTiming(label, seconds, mode, failed))
+               failed: bool = False, failure_kind: str | None = None,
+               attempts: int = 1) -> None:
+        self.timings.append(
+            JobTiming(label, seconds, mode, failed, failure_kind, attempts)
+        )
 
     # -- aggregates -----------------------------------------------------------
     @property
@@ -71,6 +81,20 @@ class SessionTelemetry:
     @property
     def failures(self) -> int:
         return sum(1 for t in self.timings if t.failed)
+
+    @property
+    def retries(self) -> int:
+        """Extra dispatches beyond each job's first attempt."""
+        return sum(t.attempts - 1 for t in self.timings)
+
+    def failures_by_kind(self) -> dict[str, int]:
+        """Failure counts grouped by taxonomy kind (empty if all passed)."""
+        kinds: dict[str, int] = {}
+        for t in self.timings:
+            if t.failed:
+                kind = t.failure_kind or "error"
+                kinds[kind] = kinds.get(kind, 0) + 1
+        return dict(sorted(kinds.items()))
 
     @property
     def sim_seconds(self) -> float:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.arch.config import GpuConfig
 from repro.arch.occupancy import OccupancyResult, theoretical_occupancy
+from repro.errors import InvariantViolationError
 from repro.isa.instructions import Instruction
 from repro.isa.kernel import Kernel
 from repro.regmutex.srp import SharedRegisterPool
@@ -131,6 +132,34 @@ class RegMutexSmState(SmTechniqueState):
     @property
     def waiting_warps(self) -> int:
         return len(self._wait_queue)
+
+    def check_invariants(self, cycle: int) -> None:
+        """SRP bitmask/LUT/status consistency, as a structured error.
+
+        ``Srp.check_invariants`` raises ``AssertionError`` (its
+        property-test contract); the simulator surface wraps it so a
+        corrupted structure is attributable and carries a snapshot.
+        """
+        try:
+            self.srp.check_invariants()
+        except AssertionError as exc:
+            raise InvariantViolationError(
+                f"cycle {cycle}: SRP invariant violated: {exc}",
+                diagnostic=self.debug_snapshot(),
+            ) from exc
+
+    def debug_snapshot(self) -> dict:
+        return {
+            "srp_bitmask": self.srp.srp_bitmask.as_int(),
+            "warp_status": self.srp.warp_status.as_int(),
+            "lut": [
+                self.srp.lut_entry(slot) for slot in range(self.srp.max_warps)
+            ],
+            "num_sections": self.srp.num_sections,
+            "sections_in_use": self.srp.sections_in_use,
+            "wait_queue": [w.warp_id for w in self._wait_queue],
+            "retry_policy": self.retry_policy,
+        }
 
     def resolve_physical(self, warp: Warp, arch_reg: int) -> int:
         """The Figure 6b mux, for the bank-conflict model.

@@ -150,6 +150,33 @@ class SharedRegisterPool:
         self._lut[warp_slot] = None
         return section
 
+    # -- fault injection support -----------------------------------------------------
+    def corrupt_for_fault_injection(
+        self,
+        *,
+        set_section_bits: tuple[int, ...] = (),
+        clear_section_bits: tuple[int, ...] = (),
+        clear_slots: tuple[int, ...] = (),
+    ) -> None:
+        """Deliberately desynchronize the three structures.
+
+        This is the *only* supported way to model hardware faults (a
+        flipped SRP bit, a release lost in flight): it bypasses the
+        acquire/release procedures, so the structures end up mutually
+        inconsistent — exactly what :meth:`check_invariants` and the
+        simulator watchdog exist to catch.  Never called outside
+        ``repro.faults`` and its tests.
+        """
+        for section in set_section_bits:
+            self.srp_bitmask.set(section)
+        for section in clear_section_bits:
+            self.srp_bitmask.unset(section)
+        for slot in clear_slots:
+            # A lost release: the warp-side view clears but the section
+            # bit stays set, leaking the section forever.
+            self.warp_status.unset(slot)
+            self._lut[slot] = None
+
     # -- invariant checking (used by property tests) ---------------------------------
     def check_invariants(self) -> None:
         """Raise AssertionError if the three structures disagree."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import GpuConfig
+from repro.errors import KernelPlacementError
 from repro.isa.kernel import Kernel
 from repro.sim.rand import DeterministicRng
 from repro.sim.sm import StreamingMultiprocessor
@@ -49,6 +50,7 @@ class Gpu:
         kernel: Kernel,
         grid_ctas: int,
         scheduler_priority=None,
+        max_cycles: int = 50_000_000,
     ) -> LaunchResult:
         """Run ``grid_ctas`` CTAs of ``kernel`` across the device."""
         if grid_ctas <= 0:
@@ -56,7 +58,7 @@ class Gpu:
         compiled = self.technique.prepare_kernel(kernel, self.config)
         occ = self.technique.occupancy(compiled, self.config)
         if occ.ctas_per_sm <= 0:
-            raise RuntimeError(
+            raise KernelPlacementError(
                 f"kernel {kernel.name!r} does not fit on {self.config.name}: "
                 f"limited by {occ.limiting_resource}"
             )
@@ -73,7 +75,8 @@ class Gpu:
                 continue
             if count not in stats_by_count:
                 stats_by_count[count] = self._run_one_sm(
-                    sm_id, compiled, occ.ctas_per_sm, count, scheduler_priority
+                    sm_id, compiled, occ.ctas_per_sm, count,
+                    scheduler_priority, max_cycles,
                 )
             per_sm.append(stats_by_count[count])
 
@@ -96,6 +99,7 @@ class Gpu:
         resident_limit: int,
         total_ctas: int,
         scheduler_priority,
+        max_cycles: int = 50_000_000,
     ) -> SmStats:
         stats = SmStats()
         state = self.technique.make_sm_state(compiled, self.config, stats)
@@ -112,7 +116,7 @@ class Gpu:
             scheduler_priority=scheduler_priority,
             stats=stats,  # shared with the technique state
         )
-        return sm.run()
+        return sm.run(max_cycles=max_cycles)
 
 
 def simulate_kernel(

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.arch.config import GpuConfig
 from repro.arch.occupancy import theoretical_occupancy
+from repro.errors import KernelPlacementError, SimulationError
 from repro.isa.kernel import Kernel
 from repro.sim.rand import DeterministicRng
 from repro.sim.sm import StreamingMultiprocessor
@@ -65,6 +66,7 @@ def launch_concurrent(
     config: GpuConfig,
     technique: SharingTechnique | None = None,
     seed: int = 2018,
+    max_cycles: int = 50_000_000,
 ) -> ConcurrentLaunchResult:
     """Run several kernels concurrently on one device."""
     if not kernels:
@@ -99,12 +101,24 @@ def launch_concurrent(
             compiled[0], config, stats
         )
     if occ.ctas_per_sm <= 0:
-        raise RuntimeError("kernel mix does not fit on the SM")
+        raise KernelPlacementError("kernel mix does not fit on the SM")
 
-    # Interleave the grid round-robin across kernels.
+    # Interleave the grid round-robin across kernels.  Each pass over
+    # the kernel list must place at least one CTA, so the loop is
+    # bounded by the total CTA count — the guard turns any future
+    # bookkeeping bug (which would spin here forever) into an error.
     schedule: list[Kernel] = []
     remaining = list(ctas_each)
+    total_ctas = sum(ctas_each)
+    passes = 0
     while any(remaining):
+        passes += 1
+        if passes > total_ctas:
+            raise SimulationError(
+                f"concurrent CTA schedule failed to converge after "
+                f"{passes} passes (remaining={remaining}) — "
+                "round-robin placement made no progress"
+            )
         for i, k in enumerate(compiled):
             if remaining[i] > 0:
                 schedule.append(k)
@@ -133,7 +147,7 @@ def launch_concurrent(
             stats=stats,
             kernels_for_ctas=sm_kernels,
         )
-        sm_stats.append(sm.run())
+        sm_stats.append(sm.run(max_cycles=max_cycles))
 
     cycles = max((s.cycles for s in sm_stats), default=0)
     kstats = KernelStats(

@@ -29,6 +29,12 @@ interactions RegMutex lives on without modelling bank conflicts.
 from __future__ import annotations
 
 from repro.arch.config import GpuConfig
+from repro.errors import (
+    CycleLimitExceededError,
+    DeadlockDiagnostic,
+    SimulationDeadlockError,
+    WarpSnapshot,
+)
 from repro.isa.instructions import Instruction, OpClass, Opcode
 from repro.isa.kernel import Kernel
 from repro.sim.cta import Cta
@@ -80,6 +86,10 @@ class StreamingMultiprocessor:
         self.rng = rng
         self.stats = stats if stats is not None else SmStats()
         self.cycle = 0
+        # Watchdog marker: the last cycle any warp advanced its pc or
+        # finished (a successful acquire/release advances the pc, so
+        # every SRP state transition moves this too).
+        self._last_progress_cycle = 0
 
         self.scoreboard = Scoreboard()
         self.memory = MemoryModel(config, rng.fork(0x3E3))
@@ -316,7 +326,12 @@ class StreamingMultiprocessor:
                 if chosen is None:
                     break
                 inst = chosen.current_instruction()
+                before = chosen.dynamic_instructions
                 self._execute(chosen, inst)
+                if chosen.dynamic_instructions != before:
+                    # pc advanced or the warp finished — real forward
+                    # progress, as opposed to a failed acquire poll.
+                    self._last_progress_cycle = cycle
                 sched.notify_issued(chosen)
                 issued += 1
                 issued_here += 1
@@ -342,7 +357,42 @@ class StreamingMultiprocessor:
                     self.stats.stall_barrier += 1
                 elif saw_scoreboard:
                     self.stats.stall_scoreboard += 1
+        if self.config.debug_invariants:
+            self.technique.check_invariants(cycle)
         return issued
+
+    # -- failure diagnostics ------------------------------------------------------
+    def diagnostic(self) -> DeadlockDiagnostic:
+        """Structured snapshot of the SM for deadlock/invariant errors."""
+        warps = tuple(
+            WarpSnapshot(
+                warp_id=w.warp_id,
+                cta_id=w.cta_id,
+                pc=w.pc,
+                status=w.status.value,
+                stalled_on=w.stalled_on,
+                wake_cycle=w.wake_cycle,
+                holds_extended_set=w.holds_extended_set,
+                srp_section=w.srp_section,
+            )
+            for cta in self.resident_ctas
+            for w in cta.warps
+            if not w.finished
+        )
+        scoreboard = {
+            w.warp_id: self.scoreboard.pending_count(w.warp_id, self.cycle)
+            for cta in self.resident_ctas
+            for w in cta.warps
+            if not w.finished
+        }
+        return DeadlockDiagnostic(
+            sm_id=self.sm_id,
+            cycle=self.cycle,
+            last_progress_cycle=self._last_progress_cycle,
+            warps=warps,
+            scoreboard_pending=scoreboard,
+            technique=self.technique.debug_snapshot(),
+        )
 
     def _fast_forward(self) -> None:
         """Jump the clock to the next event when no warp can issue.
@@ -369,16 +419,12 @@ class StreamingMultiprocessor:
                 if w.status is WarpStatus.READY and w.wake_cycle > self.cycle:
                     targets.append(w.wake_cycle)
         if not targets:
-            blocked = [
-                (w.warp_id, w.status.value, w.pc)
-                for cta in self.resident_ctas
-                for w in cta.warps
-                if not w.finished
-            ]
-            raise RuntimeError(
+            diagnostic = self.diagnostic()
+            raise SimulationDeadlockError(
                 f"SM {self.sm_id} deadlocked at cycle {self.cycle}: "
-                f"no issuable warp and no pending timer; blocked warps: "
-                f"{blocked[:8]}"
+                f"no issuable warp and no pending timer; "
+                f"{diagnostic.summary()}",
+                diagnostic=diagnostic,
             )
         skip = max(0, min(targets) - self.cycle - 1)
         if skip == 0:
@@ -389,15 +435,35 @@ class StreamingMultiprocessor:
         self.stats.resident_warp_cycles += skip * self.resident_warps
 
     def run(self, max_cycles: int = 50_000_000) -> SmStats:
-        """Run to completion; raises if the kernel deadlocks or overruns."""
+        """Run to completion.
+
+        Raises :class:`SimulationDeadlockError` when the schedule stops
+        making forward progress — immediately when no timer is pending
+        (provable deadlock), or after ``config.watchdog_window`` cycles
+        of fruitless polling (livelock: warps keep retrying an acquire
+        that can never be granted).  Raises
+        :class:`CycleLimitExceededError` at the ``max_cycles`` backstop.
+        """
+        window = self.config.watchdog_window
         while not self.done:
             issued = self.step()
             if issued == 0 and not self.done:
                 self._fast_forward()
+            if window and self.cycle - self._last_progress_cycle > window:
+                diagnostic = self.diagnostic()
+                raise SimulationDeadlockError(
+                    f"SM {self.sm_id} made no forward progress for "
+                    f"{self.cycle - self._last_progress_cycle} cycles "
+                    f"(watchdog window {window}) — deadlock/livelock; "
+                    f"{diagnostic.summary()}",
+                    diagnostic=diagnostic,
+                )
             if self.cycle > max_cycles:
-                raise RuntimeError(
+                raise CycleLimitExceededError(
                     f"SM {self.sm_id} exceeded {max_cycles} cycles — "
-                    "deadlock or runaway kernel"
+                    "runaway kernel (or a livelock below the watchdog's "
+                    "sensitivity)",
+                    diagnostic=self.diagnostic(),
                 )
         self.stats.cycles = self.cycle
         return self.stats

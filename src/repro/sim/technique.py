@@ -53,6 +53,17 @@ class SmTechniqueState:
         """Warps whose blocked acquire may now succeed (drained each cycle)."""
         return []
 
+    def check_invariants(self, cycle: int) -> None:
+        """Raise ``InvariantViolationError`` if the technique's hardware
+        structures are inconsistent.  Called every cycle when the config
+        sets ``debug_invariants``; the default state has none."""
+
+    def debug_snapshot(self) -> dict:
+        """Technique-internal state for deadlock diagnostics (plain
+        JSON-able values only — this crosses process boundaries inside
+        error messages)."""
+        return {}
+
     def resolve_physical(self, warp: Warp, arch_reg: int) -> int:
         """Architected-to-physical mapping for the bank-conflict model.
 

@@ -1,0 +1,134 @@
+"""Disk-cache integrity: checksums, quarantine, corrupt-file backup."""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.arch.config import fermi_like
+from repro.harness.runner import CACHE_FORMAT_VERSION, ExperimentRunner
+from repro.sim.technique import BaselineTechnique
+from tests.conftest import straightline_kernel
+
+
+@pytest.fixture
+def cfg():
+    return fermi_like(
+        name="cache-test", num_sms=1, max_warps_per_sm=8, max_ctas_per_sm=4,
+        max_threads_per_sm=256, registers_per_sm=4096,
+        dram_latency=60, l1_hit_latency=8,
+    )
+
+
+def _populate(path, cfg, kernels=(4, 12)):
+    with ExperimentRunner(target_ctas_per_sm=2, cache_path=path) as runner:
+        for n in kernels:
+            runner.run(straightline_kernel(n), cfg, BaselineTechnique())
+
+
+class TestCorruptFileBackup:
+    def test_unparseable_cache_backed_up_not_destroyed(self, cfg, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w") as fh:
+            fh.write("{definitely not json")
+        with pytest.warns(UserWarning, match="unreadable"):
+            runner = ExperimentRunner(target_ctas_per_sm=2, cache_path=path)
+        backup = path + ".corrupt"
+        assert os.path.exists(backup)
+        with open(backup) as fh:
+            assert fh.read() == "{definitely not json"  # evidence intact
+        assert runner.cached is not None  # runner is usable
+        assert runner.run(straightline_kernel(), cfg, BaselineTechnique())
+
+    def test_truncated_v2_cache_backed_up(self, cfg, tmp_path):
+        path = str(tmp_path / "cache.json")
+        _populate(path, cfg)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        with pytest.warns(UserWarning, match="unreadable"):
+            ExperimentRunner(target_ctas_per_sm=2, cache_path=path)
+        assert os.path.exists(path + ".corrupt")
+
+
+class TestChecksumQuarantine:
+    def test_poisoned_entry_quarantined_others_survive(self, cfg, tmp_path):
+        path = str(tmp_path / "cache.json")
+        _populate(path, cfg)
+        with open(path) as fh:
+            raw = json.load(fh)
+        assert raw["__cache_format__"] == CACHE_FORMAT_VERSION
+        victim = sorted(raw["entries"])[0]
+        raw["entries"][victim]["record"]["cycles"] += 1  # checksum now stale
+        with open(path, "w") as fh:
+            json.dump(raw, fh)
+
+        with pytest.warns(UserWarning, match="quarantined"):
+            runner = ExperimentRunner(target_ctas_per_sm=2, cache_path=path)
+        assert runner.quarantined_entries == 1
+        assert len(runner._memo) == len(raw["entries"]) - 1  # rest kept
+        quarantine = path + ".quarantine.json"
+        assert os.path.exists(quarantine)
+        with open(quarantine) as fh:
+            assert victim in json.load(fh)
+
+    def test_poisoned_entry_recomputed_and_reflushed(self, cfg, tmp_path):
+        path = str(tmp_path / "cache.json")
+        _populate(path, cfg, kernels=(4,))
+        with open(path) as fh:
+            raw = json.load(fh)
+        key = next(iter(raw["entries"]))
+        raw["entries"][key]["record"]["cycles"] += 1
+        with open(path, "w") as fh:
+            json.dump(raw, fh)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with ExperimentRunner(target_ctas_per_sm=2, cache_path=path) as r:
+                record = r.run(straightline_kernel(4), cfg, BaselineTechnique())
+        assert record.cycles > 0
+        # The flushed cache holds the recomputed record with a valid sum.
+        fresh = ExperimentRunner(target_ctas_per_sm=2, cache_path=path)
+        assert fresh.quarantined_entries == 0
+        assert fresh.cached(key) == record
+
+    def test_clean_v2_cache_loads_without_warnings(self, cfg, tmp_path):
+        path = str(tmp_path / "cache.json")
+        _populate(path, cfg)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            runner = ExperimentRunner(target_ctas_per_sm=2, cache_path=path)
+        assert len(runner._memo) == 2
+        assert runner.quarantined_entries == 0
+
+
+class TestLegacyFormatMigration:
+    def test_v1_cache_upgraded_in_place(self, cfg, tmp_path):
+        path = str(tmp_path / "cache.json")
+        # Write a v2 cache, then strip it down to the legacy bare-dict
+        # layout a pre-checksum session would have left behind.
+        _populate(path, cfg, kernels=(4,))
+        with open(path) as fh:
+            raw = json.load(fh)
+        legacy = {k: v["record"] for k, v in raw["entries"].items()}
+        with open(path, "w") as fh:
+            json.dump(legacy, fh)
+
+        runner = ExperimentRunner(target_ctas_per_sm=2, cache_path=path)
+        assert len(runner._memo) == 1       # legacy entries readable
+        runner.flush()                      # dirty after migration
+        with open(path) as fh:
+            upgraded = json.load(fh)
+        assert upgraded["__cache_format__"] == CACHE_FORMAT_VERSION
+        for entry in upgraded["entries"].values():
+            assert "checksum" in entry
+
+    def test_v1_cache_with_bad_entry_quarantines_it(self, cfg, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w") as fh:
+            json.dump({"somekey": {"not": "a record"}}, fh)
+        with pytest.warns(UserWarning, match="quarantined"):
+            runner = ExperimentRunner(target_ctas_per_sm=2, cache_path=path)
+        assert runner.quarantined_entries == 1
+        assert not runner._memo

@@ -1,0 +1,158 @@
+"""Progress watchdog, cycle-limit backstop, and structured deadlock errors."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import (
+    CycleLimitExceededError,
+    DeadlockDiagnostic,
+    SimulationDeadlockError,
+    SimulationError,
+)
+from repro.isa.builder import KernelBuilder
+from repro.regmutex.issue_logic import RegMutexSmState
+from repro.sim.gpu import Gpu
+from repro.sim.rand import DeterministicRng
+from repro.sim.sm import StreamingMultiprocessor
+from repro.sim.stats import SmStats
+from repro.sim.technique import BaselineTechnique
+from tests.conftest import looped_kernel, straightline_kernel
+
+
+def srp_kernel():
+    """Pre-instrumented acquire/work/release kernel (|Bs|=|Es|=4)."""
+    b = KernelBuilder(name="srp-probe", regs_per_thread=8, threads_per_cta=64)
+    for reg in range(4):
+        b.ldc(reg)
+    b.acquire()
+    b.alu(4, 0, 1)
+    b.alu(5, 4, 2)
+    b.release()
+    b.store(0, 5)
+    b.exit()
+    return b.build().with_metadata(base_set_size=4, extended_set_size=4)
+
+
+def starved_sm(config, retry_policy, num_sections=0):
+    """An SM whose warps contend for an SRP that can never satisfy them.
+
+    ``num_sections=0`` means every acquire fails forever: with the
+    wakeup policy all warps park (provable deadlock, no timers); with
+    the eager policy they re-poll on backoff timers (livelock — only
+    the watchdog can see it).
+    """
+    kernel = srp_kernel()
+    stats = SmStats()
+    state = RegMutexSmState(
+        kernel, config, stats,
+        num_sections=num_sections, retry_policy=retry_policy,
+    )
+    return StreamingMultiprocessor(
+        sm_id=0, config=config, kernel=kernel, technique_state=state,
+        ctas_resident_limit=2, total_ctas=4,
+        rng=DeterministicRng(7), stats=stats,
+    )
+
+
+class TestDeadlockDetection:
+    def test_wakeup_starvation_is_provable_deadlock(self, tiny_config):
+        sm = starved_sm(tiny_config, "wakeup")
+        with pytest.raises(SimulationDeadlockError, match="no pending timer") as ei:
+            sm.run()
+        diag = ei.value.diagnostic
+        assert isinstance(diag, DeadlockDiagnostic)
+        assert diag.blocked_on_acquire()           # waiters are visible
+        assert diag.technique["num_sections"] == 0  # and so is the SRP
+        # Caught essentially immediately — orders of magnitude under the
+        # acceptance bound.
+        assert diag.cycle < 100_000
+
+    def test_eager_starvation_caught_by_watchdog(self, tiny_config):
+        sm = starved_sm(tiny_config, "eager")
+        with pytest.raises(SimulationDeadlockError, match="watchdog") as ei:
+            sm.run()
+        diag = ei.value.diagnostic
+        assert isinstance(diag, DeadlockDiagnostic)
+        # Fires one window past the last progress, never later than two.
+        window = tiny_config.watchdog_window
+        assert diag.cycle - diag.last_progress_cycle > window
+        assert diag.cycle < 2 * window + 1_000
+        assert diag.cycle < 100_000
+
+    def test_watchdog_disabled_falls_through_to_cycle_limit(self, tiny_config):
+        config = dataclasses.replace(tiny_config, watchdog_window=0)
+        sm = starved_sm(config, "eager")
+        with pytest.raises(CycleLimitExceededError) as ei:
+            sm.run(max_cycles=30_000)
+        assert ei.value.kind == "cycle-limit"
+        assert ei.value.diagnostic is not None
+
+    def test_deadlock_errors_are_simulation_errors(self, tiny_config):
+        sm = starved_sm(tiny_config, "wakeup")
+        with pytest.raises(SimulationError) as ei:
+            sm.run()
+        assert ei.value.kind == "deadlock"
+
+    def test_diagnostic_summary_mentions_waiters(self, tiny_config):
+        sm = starved_sm(tiny_config, "wakeup")
+        with pytest.raises(SimulationDeadlockError) as ei:
+            sm.run()
+        assert "wait_acquire" in str(ei.value)
+
+
+class TestNoFalsePositives:
+    """Legitimate workloads — including long memory stalls and barriers —
+    must never trip the watchdog."""
+
+    def test_straightline_completes(self, tiny_config):
+        result = Gpu(tiny_config, BaselineTechnique()).launch(
+            straightline_kernel(), grid_ctas=8
+        )
+        assert result.cycles > 0
+
+    def test_looped_kernel_completes(self, tiny_config):
+        result = Gpu(tiny_config, BaselineTechnique()).launch(
+            looped_kernel(trips=16), grid_ctas=8
+        )
+        assert result.cycles > 0
+
+    def test_contended_regmutex_completes(self, tiny_config):
+        # One section and many warps: heavy acquire contention, but a
+        # live schedule — progress is slow, not absent.
+        kernel = srp_kernel()
+        stats = SmStats()
+        state = RegMutexSmState(
+            kernel, tiny_config, stats, num_sections=1, retry_policy="eager"
+        )
+        sm = StreamingMultiprocessor(
+            sm_id=0, config=tiny_config, kernel=kernel, technique_state=state,
+            ctas_resident_limit=2, total_ctas=6,
+            rng=DeterministicRng(11), stats=stats,
+        )
+        assert sm.run().cycles > 0
+
+
+class TestCycleLimit:
+    def test_max_cycles_exceeded_raises_structured_error(self, tiny_config):
+        gpu = Gpu(tiny_config, BaselineTechnique())
+        with pytest.raises(CycleLimitExceededError) as ei:
+            gpu.launch(looped_kernel(trips=64), grid_ctas=16, max_cycles=10)
+        assert ei.value.kind == "cycle-limit"
+        assert isinstance(ei.value.diagnostic, DeadlockDiagnostic)
+        assert ei.value.diagnostic.warps  # snapshot captured mid-flight
+
+    def test_max_cycles_threads_through_multikernel(self, tiny_config):
+        from repro.sim.multikernel import launch_concurrent
+
+        kernels = [straightline_kernel(name="a"), straightline_kernel(name="b")]
+        with pytest.raises(CycleLimitExceededError):
+            launch_concurrent(
+                kernels, [4, 4], tiny_config,
+                technique=BaselineTechnique(), max_cycles=5,
+            )
+
+    def test_generous_limit_does_not_fire(self, tiny_config):
+        gpu = Gpu(tiny_config, BaselineTechnique())
+        result = gpu.launch(looped_kernel(), grid_ctas=4, max_cycles=1_000_000)
+        assert result.cycles < 1_000_000
