@@ -66,6 +66,30 @@ class BottleneckReport:
             )
         return "\n".join(lines)
 
+    def flame(self, width: int = 44) -> str:
+        """Flame-style stall attribution: proportional bars per category.
+
+        The top bar is the issued/idle split of all issue slots; below
+        it, idle slots fan out into the stall categories, widest first —
+        the textual analogue of a two-level flame graph.
+        """
+        slots = max(1, self.issue_slots)
+        issued_chars = round(self.issue_utilization * width)
+        lines = [
+            f"issue slots  |{'#' * issued_chars}"
+            f"{'.' * (width - issued_chars)}| "
+            f"{self.issued} issued / {self.idle_slots} idle",
+        ]
+        for cat in sorted(_CATEGORIES, key=lambda c: -self.stalls[c]):
+            share = self.stalls[cat] / slots
+            chars = round(share * width)
+            lines.append(
+                f"  {cat:<11}|{'#' * chars}{' ' * (width - chars)}| "
+                f"{self.fraction(cat):>4.0%} of idle "
+                f"({self.stalls[cat]} slots)"
+            )
+        return "\n".join(lines)
+
 
 def attribute_bottlenecks(stats: SmStats, num_schedulers: int = 2) -> BottleneckReport:
     """Build a report from one SM's counters."""

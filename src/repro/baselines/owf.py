@@ -88,7 +88,9 @@ class OwfSmState(SmTechniqueState):
         self._partner: dict[int, Warp] = {}
         self._waiting_on: dict[int, list[Warp]] = {}
         self._native_round_robin = 0
+        # Double-buffered like the RegMutex states: no per-cycle list.
         self._pending_wakeups: list[Warp] = []
+        self._wakeup_spare: list[Warp] = []
         self._natives: dict[int, Warp] = {}
 
     def is_extra(self, warp: Warp) -> bool:
@@ -140,9 +142,13 @@ class OwfSmState(SmTechniqueState):
             self._pending_wakeups.append(waiter)
         self._partner.pop(warp.warp_id, None)
 
-    def wakeup_pending(self) -> list[Warp]:
+    def wakeup_pending(self) -> list[Warp] | tuple:
         woken = self._pending_wakeups
-        self._pending_wakeups = []
+        if not woken:
+            return ()
+        spare = self._wakeup_spare
+        spare.clear()
+        self._pending_wakeups, self._wakeup_spare = spare, woken
         return woken
 
 

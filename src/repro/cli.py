@@ -8,16 +8,22 @@ Usage::
     python -m repro fig9a
     python -m repro storage
     python -m repro run BFS --technique regmutex [--half-rf] [--es 6]
-    python -m repro bench [--figures fig7,fig9a] [--workers 8]
+    python -m repro profile SAD --out trace.json [--stride 64] [--csv t.csv]
+    python -m repro bench [--figures fig7,fig9a] [--workers 8] [--label ci]
     python -m repro faults [--seed 7] [--skip-harness]
 
 ``run`` executes a single (app, technique) pair and prints the raw
-record — the quickest way to poke at one configuration.  ``bench``
-regenerates whole figure suites through the orchestrator — jobs are
-deduplicated across figures, dispatched to ``--workers`` processes, and
-a telemetry report (per-job timings, cache hits/misses, worker
-utilization) is printed at the end.  ``--workers N`` on a figure
-command parallelizes just that figure.
+record — the quickest way to poke at one configuration.  ``profile``
+runs one SM with full observability attached and prints the stall/SRP
+profile report; ``--out`` additionally writes a Chrome trace-event JSON
+loadable at https://ui.perfetto.dev (one track per warp, scheduler, and
+SRP section).  ``bench`` regenerates whole figure suites through the
+orchestrator — jobs are deduplicated across figures, dispatched to
+``--workers`` processes, a telemetry report (per-job timings, cache
+hits/misses, worker utilization) is printed at the end, and the session
+is stamped into a regression-trackable ``BENCH_<label>.json`` perf
+artifact.  ``--workers N`` on a figure command parallelizes just that
+figure.
 
 ``faults`` runs the deterministic fault-injection campaign
 (:mod:`repro.faults.campaign`): every registered fault kind is armed
@@ -88,6 +94,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated figure subset (default: all of "
              + ",".join(sorted(E.FIGURE_SPECS)) + ")",
     )
+    bench.add_argument(
+        "--apps", default=None,
+        help="comma-separated app subset, forwarded to every selected "
+             "figure that takes one (fig12*/fig13 use their fixed sets)",
+    )
+    bench.add_argument(
+        "--label", default="run", metavar="LABEL",
+        help="perf-artifact label: the session is written to "
+             "BENCH_<label>.json (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--artifact-dir", default=".", metavar="DIR",
+        help="directory for the perf artifact (default: repo root)",
+    )
+    bench.add_argument(
+        "--no-artifact", action="store_true",
+        help="skip writing the BENCH_<label>.json perf artifact",
+    )
     for name in _EXPERIMENTS:
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument(
@@ -123,7 +147,57 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="force |Es| (default: Table I's split)")
     run.add_argument("--half-rf", action="store_true",
                      help="halve the register file")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one SM with observability attached; print the profile "
+             "report and optionally export a Perfetto trace",
+    )
+    profile.add_argument("app", choices=sorted(APPLICATIONS))
+    profile.add_argument(
+        "--technique",
+        choices=("baseline", "regmutex", "paired", "owf", "rfv"),
+        default="regmutex",
+    )
+    profile.add_argument("--es", type=int, default=None,
+                         help="force |Es| (default: Table I's split)")
+    profile.add_argument("--half-rf", action="store_true",
+                         help="halve the register file")
+    profile.add_argument(
+        "--ctas", type=int, default=None, metavar="N",
+        help="total CTAs to run through the SM (default: 2 waves)",
+    )
+    profile.add_argument(
+        "--stride", type=int, default=64, metavar="CYCLES",
+        help="probe sampling stride (default: %(default)s)",
+    )
+    profile.add_argument("--seed", type=int, default=2018,
+                         help="simulation seed (default: %(default)s)")
+    profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON (open at ui.perfetto.dev)",
+    )
+    profile.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the sampled timelines as CSV",
+    )
+    profile.add_argument(
+        "--issues", action="store_true",
+        help="include per-issue instant events in the trace (large)",
+    )
     return parser
+
+
+def _technique_for(name: str, es: int | None):
+    """(technique, scheduler_priority) for a CLI technique name."""
+    factories = {
+        "baseline": lambda: (BaselineTechnique(), None),
+        "regmutex": lambda: (RegMutexTechnique(extended_set_size=es), None),
+        "paired": lambda: (PairedWarpsTechnique(extended_set_size=es), None),
+        "owf": lambda: (OwfTechnique(), owf_priority),
+        "rfv": lambda: (RfvTechnique(), None),
+    }
+    return factories[name]()
 
 
 def _apps_arg(args) -> tuple[str, ...] | None:
@@ -148,14 +222,7 @@ def _cmd_run(args, runner: ExperimentRunner) -> int:
     spec = get_app(args.app)
     config = GTX480.with_half_register_file() if args.half_rf else GTX480
     es = args.es if args.es is not None else spec.expected_es
-    techniques = {
-        "baseline": lambda: (BaselineTechnique(), None),
-        "regmutex": lambda: (RegMutexTechnique(extended_set_size=es), None),
-        "paired": lambda: (PairedWarpsTechnique(extended_set_size=es), None),
-        "owf": lambda: (OwfTechnique(), owf_priority),
-        "rfv": lambda: (RfvTechnique(), None),
-    }
-    technique, priority = techniques[args.technique]()
+    technique, priority = _technique_for(args.technique, es)
     kernel = build_app_kernel(spec)
     record = runner.run(kernel, config, technique, scheduler_priority=priority)
     base = runner.run(kernel, config, BaselineTechnique())
@@ -173,6 +240,45 @@ def _cmd_run(args, runner: ExperimentRunner) -> int:
         ],
     ))
     return 0
+
+
+def _cmd_profile(args) -> int:
+    """One observed SM run: report to stdout, optional trace/CSV export."""
+    from repro.observe import (
+        chrome_trace_events,
+        profile_kernel,
+        profile_report,
+        write_chrome_trace,
+        write_timeline_csv,
+    )
+
+    spec = get_app(args.app)
+    config = GTX480.with_half_register_file() if args.half_rf else GTX480
+    es = args.es if args.es is not None else spec.expected_es
+    technique, priority = _technique_for(args.technique, es)
+    kernel = build_app_kernel(spec)
+    result = profile_kernel(
+        kernel, config, technique,
+        total_ctas=args.ctas, stride=args.stride,
+        scheduler_priority=priority, seed=args.seed,
+    )
+    title = (f"{result.kernel_name} / {result.technique_name} "
+             f"on {config.name} ({result.total_ctas} CTAs)")
+    print(profile_report(result.stats, config, samples=result.samples,
+                         log=result.log, title=title))
+    if result.error is not None:
+        print(f"\nrun ended early: {result.error}")
+    if args.out:
+        events = chrome_trace_events(
+            result.log, result.samples, sm_id=0, include_issues=args.issues
+        )
+        write_chrome_trace(args.out, events)
+        print(f"(Perfetto trace written to {args.out} — "
+              "open at https://ui.perfetto.dev)")
+    if args.csv:
+        write_timeline_csv(args.csv, result.samples)
+        print(f"(timeline CSV written to {args.csv})")
+    return 1 if result.error is not None else 0
 
 
 def _maybe_csv(args, rows) -> None:
@@ -194,7 +300,8 @@ def _cmd_bench(args, runner: ExperimentRunner) -> int:
             raise KeyError(f"unknown figures {unknown} (known: {known})")
     else:
         names = list(E.FIGURE_SPECS)
-    specs = [E.FIGURE_SPECS[n]() for n in names]
+    apps = _apps_arg(args)
+    specs = [_figure_spec(n, apps) for n in names]
     orch = Orchestrator(
         runner, workers=args.workers,
         job_timeout=args.job_timeout, max_retries=args.retries,
@@ -206,7 +313,25 @@ def _cmd_bench(args, runner: ExperimentRunner) -> int:
     ))
     print()
     print(format_telemetry(orch.telemetry))
+    if not args.no_artifact:
+        from repro.observe.perf import write_perf_artifact
+
+        path = write_perf_artifact(
+            args.label, orch.telemetry, directory=args.artifact_dir
+        )
+        print(f"\n(perf artifact written to {path})")
     return 0
+
+
+def _figure_spec(name: str, apps: tuple[str, ...] | None):
+    """Build one figure spec, forwarding ``apps`` where the factory takes
+    it (fig12*/fig13 have fixed app sets)."""
+    import inspect
+
+    factory = E.FIGURE_SPECS[name]
+    if apps and "apps" in inspect.signature(factory).parameters:
+        return factory(apps=apps)
+    return factory()
 
 
 def _cmd_faults(args) -> int:
@@ -334,6 +459,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     with ExperimentRunner(cache_path=args.cache) as runner:
         if args.command == "run":
             return _cmd_run(args, runner)

@@ -155,7 +155,8 @@ class Orchestrator:
             if record is not None:
                 self.runner.cache_hits += 1
                 outcomes[job] = record
-                self.telemetry.record(job.label, 0.0, MODE_CACHED)
+                self.telemetry.record(job.label, 0.0, MODE_CACHED,
+                                      cycles=record.cycles)
             else:
                 self.runner.cache_misses += 1
                 pending.append((job, key))
@@ -307,4 +308,5 @@ class Orchestrator:
             failed=failure is not None,
             failure_kind=failure[0] if failure else None,
             attempts=attempts,
+            cycles=record.cycles if failure is None and record else None,
         )

@@ -34,10 +34,20 @@ class JobTiming:
     failed: bool = False
     failure_kind: str | None = None
     attempts: int = 1
+    # Simulated cycles the job produced (None when the job failed before
+    # producing a record); cycles/seconds is the perf-artifact metric.
+    cycles: int | None = None
 
     @property
     def cached(self) -> bool:
         return self.mode == MODE_CACHED
+
+    @property
+    def cycles_per_sec(self) -> float | None:
+        """Simulation throughput; None for cached, failed, or zero-time jobs."""
+        if self.cycles is None or self.cached or self.seconds <= 0:
+            return None
+        return self.cycles / self.seconds
 
 
 @dataclass
@@ -60,9 +70,10 @@ class SessionTelemetry:
 
     def record(self, label: str, seconds: float, mode: str,
                failed: bool = False, failure_kind: str | None = None,
-               attempts: int = 1) -> None:
+               attempts: int = 1, cycles: int | None = None) -> None:
         self.timings.append(
-            JobTiming(label, seconds, mode, failed, failure_kind, attempts)
+            JobTiming(label, seconds, mode, failed, failure_kind, attempts,
+                      cycles)
         )
 
     # -- aggregates -----------------------------------------------------------

@@ -1,0 +1,134 @@
+"""The event bus: fan-out from simulator hooks to subscribers.
+
+A :class:`EventBus` only exists while observability is enabled — the SM
+holds no bus when disabled, so the disabled hot path pays a single
+``is None`` branch per cycle and nothing else (see
+:mod:`repro.sim.sm`).  Subscribers are plain callables; they may filter
+by kind at subscription time so high-rate kinds (issue events) are only
+dispatched where someone listens.
+
+:class:`EventLog` is the standard recording subscriber: an append-only
+list of :class:`~repro.observe.events.SimEvent` with the query helpers
+the test suite and exporters need (kind/warp filters, SRP hold
+intervals).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.observe.events import (
+    ACQUIRE_OK,
+    ALL_KINDS,
+    RELEASE,
+    SimEvent,
+    WARP_FINISH,
+)
+
+Subscriber = Callable[[SimEvent], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe dispatch for :class:`SimEvent`s."""
+
+    __slots__ = ("_any", "_by_kind")
+
+    def __init__(self) -> None:
+        self._any: list[Subscriber] = []
+        self._by_kind: dict[str, list[Subscriber]] = {}
+
+    def subscribe(self, fn: Subscriber, kind: str | None = None) -> Subscriber:
+        """Register ``fn`` for one kind (or every event when ``None``).
+
+        Returns ``fn`` so it can be used as a decorator.
+        """
+        if kind is None:
+            self._any.append(fn)
+        else:
+            if kind not in ALL_KINDS:
+                known = ", ".join(sorted(ALL_KINDS))
+                raise KeyError(f"unknown event kind {kind!r} (known: {known})")
+            self._by_kind.setdefault(kind, []).append(fn)
+        return fn
+
+    def emit(self, event: SimEvent) -> None:
+        """Deliver ``event`` to wildcard and kind subscribers, in order."""
+        for fn in self._any:
+            fn(event)
+        subs = self._by_kind.get(event.kind)
+        if subs is not None:
+            for fn in subs:
+                fn(event)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._any) + sum(len(v) for v in self._by_kind.values())
+
+
+class EventLog:
+    """An append-only event record with query helpers.
+
+    Usable directly as a bus subscriber::
+
+        log = EventLog()
+        bus.subscribe(log.append)
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[SimEvent] = []
+
+    def append(self, event: SimEvent) -> None:
+        self.events.append(event)
+
+    # -- queries ---------------------------------------------------------------
+    def of_kind(self, kind: str) -> list[SimEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_warp(self, warp_id: int) -> list[SimEvent]:
+        return [e for e in self.events if e.warp_id == warp_id]
+
+    def warp_ids(self) -> list[int]:
+        """Sorted warp ids that appear in any warp-subject event."""
+        return sorted({e.warp_id for e in self.events if e.warp_id >= 0})
+
+    def hold_intervals(self, warp_id: int) -> list[tuple[int, int]]:
+        """(acquire cycle, release cycle) pairs for one warp.
+
+        An unmatched trailing acquire (section reclaimed at EXIT) closes
+        at the warp's finish event, or at the last logged cycle.
+        """
+        intervals: list[tuple[int, int]] = []
+        start: Optional[int] = None
+        finish: Optional[int] = None
+        for e in self.events:
+            if e.warp_id != warp_id:
+                continue
+            if e.kind == ACQUIRE_OK and start is None:
+                start = e.cycle
+            elif e.kind == RELEASE and start is not None:
+                intervals.append((start, e.cycle))
+                start = None
+            elif e.kind == WARP_FINISH:
+                finish = e.cycle
+        if start is not None:
+            last = finish if finish is not None else (
+                self.events[-1].cycle if self.events else start
+            )
+            intervals.append((start, last))
+        return intervals
+
+    def stall_totals(self) -> dict[str, int]:
+        """Idle-slot sums per stall category, from the STALL stream."""
+        totals: dict[str, int] = {}
+        for e in self.events:
+            if e.kind == "stall":
+                totals[e.detail] = totals.get(e.detail, 0) + e.value
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self.events)

@@ -1,0 +1,117 @@
+"""Perf artifacts: regression-trackable ``BENCH_<label>.json`` files.
+
+``repro bench`` stamps every orchestrated job with its wall time,
+simulated cycles, and cycles/second through the harness telemetry, and
+this module serializes the session into a schema-versioned JSON
+artifact at the repo root.  CI uploads the file per run, giving the
+project a perf trajectory that survives across commits — the ROADMAP's
+"runs as fast as the hardware allows" goal needs a trail of numbers,
+not vibes.
+
+Schema (``PERF_ARTIFACT_VERSION`` 1)::
+
+    {
+      "schema": 1,
+      "label": "<run label>",
+      "workers": N,
+      "wall_seconds": float,
+      "cache": {"hits": N, "misses": N, "hit_rate": float},
+      "totals": {"jobs": N, "failures": N, "sim_seconds": float,
+                 "cycles": N, "cycles_per_sec": float},
+      "failure_kinds": {"<kind>": N, ...},
+      "jobs": [{"label", "mode", "seconds", "cycles", "cycles_per_sec",
+                "failed", "failure_kind", "attempts"}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from repro.harness.telemetry import SessionTelemetry
+
+PERF_ARTIFACT_VERSION = 1
+
+_LABEL_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def artifact_filename(label: str) -> str:
+    """``BENCH_<label>.json`` with the label sanitized for filesystems."""
+    safe = _LABEL_SAFE.sub("-", label).strip("-") or "run"
+    return f"BENCH_{safe}.json"
+
+
+def perf_artifact(label: str, telemetry: SessionTelemetry) -> dict:
+    """Build the artifact dict from one orchestration session."""
+    jobs = []
+    total_cycles = 0
+    for t in telemetry.timings:
+        cps = None
+        if t.cycles is not None and t.seconds > 0 and not t.cached:
+            cps = t.cycles / t.seconds
+        if t.cycles is not None:
+            total_cycles += t.cycles
+        jobs.append({
+            "label": t.label,
+            "mode": t.mode,
+            "seconds": round(t.seconds, 6),
+            "cycles": t.cycles,
+            "cycles_per_sec": round(cps, 1) if cps is not None else None,
+            "failed": t.failed,
+            "failure_kind": t.failure_kind,
+            "attempts": t.attempts,
+        })
+    hits, misses = telemetry.cache_hits, telemetry.cache_misses
+    total = hits + misses
+    sim_seconds = telemetry.sim_seconds
+    return {
+        "schema": PERF_ARTIFACT_VERSION,
+        "label": label,
+        "workers": telemetry.workers,
+        "wall_seconds": round(telemetry.wall_seconds, 6),
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        },
+        "totals": {
+            "jobs": telemetry.jobs_total,
+            "failures": telemetry.failures,
+            "sim_seconds": round(sim_seconds, 6),
+            "cycles": total_cycles,
+            "cycles_per_sec": (
+                round(total_cycles / sim_seconds, 1) if sim_seconds > 0 else None
+            ),
+        },
+        "failure_kinds": telemetry.failures_by_kind(),
+        "jobs": jobs,
+    }
+
+
+def write_perf_artifact(
+    label: str, telemetry: SessionTelemetry, directory: str = "."
+) -> str:
+    """Serialize the session to ``<directory>/BENCH_<label>.json``."""
+    path = os.path.join(directory, artifact_filename(label))
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(perf_artifact(label, telemetry), fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_perf_artifact(path: str) -> dict:
+    """Load and minimally validate a perf artifact (schema gate)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != PERF_ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path}: not a schema-{PERF_ARTIFACT_VERSION} perf artifact"
+        )
+    for key in ("label", "totals", "cache", "jobs"):
+        if key not in data:
+            raise ValueError(f"{path}: missing key {key!r}")
+    return data

@@ -66,7 +66,10 @@ class RegMutexSmState(SmTechniqueState):
         self.srp = SharedRegisterPool(config.max_warps_per_sm, num_sections)
         self.retry_policy = retry_policy
         self._wait_queue: list[Warp] = []
+        # Double-buffered wakeup list: ``wakeup_pending`` swaps the two
+        # instead of allocating a fresh list per cycle (hot loop).
         self._pending_wakeups: list[Warp] = []
+        self._wakeup_spare: list[Warp] = []
 
     # -- technique interface -----------------------------------------------------
     def on_issue(self, warp: Warp, inst, cycle: int) -> None:
@@ -124,10 +127,17 @@ class RegMutexSmState(SmTechniqueState):
         if warp in self._wait_queue:
             self._wait_queue.remove(warp)
 
-    def wakeup_pending(self) -> list[Warp]:
+    def wakeup_pending(self) -> list[Warp] | tuple:
         woken = self._pending_wakeups
-        self._pending_wakeups = []
+        if not woken:
+            return ()
+        spare = self._wakeup_spare
+        spare.clear()
+        self._pending_wakeups, self._wakeup_spare = spare, woken
         return woken
+
+    def srp_view(self) -> tuple[int, int]:
+        return (self.srp.sections_in_use, self.srp.num_sections)
 
     @property
     def waiting_warps(self) -> int:

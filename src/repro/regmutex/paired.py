@@ -31,7 +31,9 @@ class PairedWarpsSmState(SmTechniqueState):
         # pair index -> warp currently holding the pair's extended section
         self._holder: dict[int, Warp] = {}
         self._waiting: dict[int, Warp] = {}
+        # Double-buffered, like RegMutexSmState: no per-cycle allocation.
         self._pending_wakeups: list[Warp] = []
+        self._wakeup_spare: list[Warp] = []
 
     def _pair_of(self, warp: Warp) -> int:
         slot = warp.warp_id % self.config.max_warps_per_sm
@@ -77,10 +79,17 @@ class PairedWarpsSmState(SmTechniqueState):
         if self._waiting.get(pair) is warp:
             del self._waiting[pair]
 
-    def wakeup_pending(self) -> list[Warp]:
+    def wakeup_pending(self) -> list[Warp] | tuple:
         woken = self._pending_wakeups
-        self._pending_wakeups = []
+        if not woken:
+            return ()
+        spare = self._wakeup_spare
+        spare.clear()
+        self._pending_wakeups, self._wakeup_spare = spare, woken
         return woken
+
+    def srp_view(self) -> tuple[int, int]:
+        return (self.pair_status.popcount(), self.pair_status.width)
 
 
 class PairedWarpsTechnique(RegMutexTechnique):

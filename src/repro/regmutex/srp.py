@@ -88,6 +88,10 @@ class SharedRegisterPool:
             )
         self._max_warps = max_warps
         self._num_sections = num_sections
+        # Observability hook: called as (kind, warp_slot, section) on
+        # every *real* state transition ("acquire"/"release"); nested
+        # no-op acquires/releases do not fire it.  None when unobserved.
+        self.on_transition = None
         self.warp_status = Bitmask(max_warps)
         self.srp_bitmask = Bitmask(max_warps)
         # LUT: one entry of ceil(log2 Nw) bits per warp.
@@ -136,6 +140,8 @@ class SharedRegisterPool:
         self.srp_bitmask.set(section)
         self.warp_status.set(warp_slot)
         self._lut[warp_slot] = section
+        if self.on_transition is not None:
+            self.on_transition("acquire", warp_slot, section)
         return section
 
     def release(self, warp_slot: int) -> Optional[int]:
@@ -148,6 +154,8 @@ class SharedRegisterPool:
         self.warp_status.unset(warp_slot)
         self.srp_bitmask.unset(section)
         self._lut[warp_slot] = None
+        if self.on_transition is not None:
+            self.on_transition("release", warp_slot, section)
         return section
 
     # -- fault injection support -----------------------------------------------------

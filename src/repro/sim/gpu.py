@@ -51,8 +51,15 @@ class Gpu:
         grid_ctas: int,
         scheduler_priority=None,
         max_cycles: int = 50_000_000,
+        observer_factory=None,
     ) -> LaunchResult:
-        """Run ``grid_ctas`` CTAs of ``kernel`` across the device."""
+        """Run ``grid_ctas`` CTAs of ``kernel`` across the device.
+
+        ``observer_factory`` (``sm_id -> SmObserver | None``) attaches
+        observability to individual SMs; any observed launch disables the
+        equal-CTA-count memoization below, since observers must see every
+        SM actually simulated.
+        """
         if grid_ctas <= 0:
             raise ValueError("grid must contain at least one CTA")
         compiled = self.technique.prepare_kernel(kernel, self.config)
@@ -72,6 +79,13 @@ class Gpu:
         for sm_id, count in enumerate(per_sm_counts):
             if count == 0:
                 per_sm.append(SmStats())
+                continue
+            if observer_factory is not None:
+                per_sm.append(self._run_one_sm(
+                    sm_id, compiled, occ.ctas_per_sm, count,
+                    scheduler_priority, max_cycles,
+                    observer=observer_factory(sm_id),
+                ))
                 continue
             if count not in stats_by_count:
                 stats_by_count[count] = self._run_one_sm(
@@ -100,6 +114,7 @@ class Gpu:
         total_ctas: int,
         scheduler_priority,
         max_cycles: int = 50_000_000,
+        observer=None,
     ) -> SmStats:
         stats = SmStats()
         state = self.technique.make_sm_state(compiled, self.config, stats)
@@ -116,6 +131,8 @@ class Gpu:
             scheduler_priority=scheduler_priority,
             stats=stats,  # shared with the technique state
         )
+        if observer is not None:
+            observer.attach(sm)
         return sm.run(max_cycles=max_cycles)
 
 

@@ -37,6 +37,11 @@ class MemoryModel:
         # overkill; dict cycle -> count keeps retire O(1)).
         self._in_flight: dict[int, int] = {}
         self._in_flight_total = 0
+        # Earliest in-flight completion cycle (None when idle): lets the
+        # per-cycle retire() return without scanning the dict, which is
+        # the common case — loads complete every ~20-400 cycles, retire
+        # runs every cycle.
+        self._next_retire: int | None = None
         self.loads_issued = 0
         self.l1_hits = 0
 
@@ -66,6 +71,8 @@ class MemoryModel:
         done = cycle + latency
         self._in_flight[done] = self._in_flight.get(done, 0) + 1
         self._in_flight_total += 1
+        if self._next_retire is None or done < self._next_retire:
+            self._next_retire = done
         return done
 
     def earliest_completion(self, cycle: int) -> int | None:
@@ -75,9 +82,13 @@ class MemoryModel:
 
     def retire(self, cycle: int) -> None:
         """Retire loads whose completion cycle has passed."""
+        nxt = self._next_retire
+        if nxt is None or nxt > cycle:
+            return
         done = [c for c in self._in_flight if c <= cycle]
         for c in done:
             self._in_flight_total -= self._in_flight.pop(c)
+        self._next_retire = min(self._in_flight) if self._in_flight else None
 
     @property
     def l1_hit_rate_observed(self) -> float:

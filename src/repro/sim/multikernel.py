@@ -67,8 +67,13 @@ def launch_concurrent(
     technique: SharingTechnique | None = None,
     seed: int = 2018,
     max_cycles: int = 50_000_000,
+    observer_factory=None,
 ) -> ConcurrentLaunchResult:
-    """Run several kernels concurrently on one device."""
+    """Run several kernels concurrently on one device.
+
+    ``observer_factory`` (``sm_id -> SmObserver | None``) attaches
+    observability per SM, same contract as :meth:`repro.sim.gpu.Gpu.launch`.
+    """
     if not kernels:
         raise ValueError("need at least one kernel")
     if len(kernels) != len(ctas_each):
@@ -147,6 +152,10 @@ def launch_concurrent(
             stats=stats,
             kernels_for_ctas=sm_kernels,
         )
+        if observer_factory is not None:
+            observer = observer_factory(sm_id)
+            if observer is not None:
+                observer.attach(sm)
         sm_stats.append(sm.run(max_cycles=max_cycles))
 
     cycles = max((s.cycles for s in sm_stats), default=0)

@@ -28,6 +28,9 @@ class WarpScheduler:
 
     def __init__(self, scheduler_id: int) -> None:
         self.scheduler_id = scheduler_id
+        # Cumulative issued-instruction count, read by the observability
+        # probes for the per-scheduler Perfetto tracks.
+        self.issued_count = 0
 
     def pick(self, candidates: Sequence[Warp]) -> Optional[Warp]:
         """Choose one warp among issuable candidates (None if empty)."""
@@ -35,9 +38,16 @@ class WarpScheduler:
 
     def notify_issued(self, warp: Warp) -> None:
         """Called after the chosen warp successfully issued."""
+        self.issued_count += 1
 
     def notify_removed(self, warp: Warp) -> None:
         """Called when a warp leaves the SM (CTA retired)."""
+
+
+def _by_warp_id(warp: Warp) -> int:
+    """Module-level sort key: ``min(key=lambda ...)`` on the issue path
+    would build a fresh closure per cycle."""
+    return warp.warp_id
 
 
 class GtoScheduler(WarpScheduler):
@@ -54,19 +64,30 @@ class GtoScheduler(WarpScheduler):
     ) -> None:
         super().__init__(scheduler_id)
         self._greedy: Optional[Warp] = None
+        # With no hook every warp ties at priority 0; the genexp + list
+        # comp below then only rediscover ``top == candidates``, so the
+        # common case (no OWF-style hook installed) skips both — this is
+        # on the per-cycle issue path.
+        self._default_priority = priority is None
         self._priority = priority or (lambda w: 0)
 
     def pick(self, candidates: Sequence[Warp]) -> Optional[Warp]:
         if not candidates:
             return None
+        if self._default_priority:
+            greedy = self._greedy
+            if greedy is not None and greedy in candidates:
+                return greedy
+            return min(candidates, key=_by_warp_id)
         best_priority = min(self._priority(w) for w in candidates)
         top = [w for w in candidates if self._priority(w) == best_priority]
         if self._greedy is not None and self._greedy in top:
             return self._greedy
         # Oldest = smallest warp id (ids are assigned in launch order).
-        return min(top, key=lambda w: w.warp_id)
+        return min(top, key=_by_warp_id)
 
     def notify_issued(self, warp: Warp) -> None:
+        self.issued_count += 1
         self._greedy = warp
 
     def notify_removed(self, warp: Warp) -> None:
@@ -84,13 +105,14 @@ class LrrScheduler(WarpScheduler):
     def pick(self, candidates: Sequence[Warp]) -> Optional[Warp]:
         if not candidates:
             return None
-        ordered = sorted(candidates, key=lambda w: w.warp_id)
+        ordered = sorted(candidates, key=_by_warp_id)
         for warp in ordered:
             if warp.warp_id > self._last_id:
                 return warp
         return ordered[0]
 
     def notify_issued(self, warp: Warp) -> None:
+        self.issued_count += 1
         self._last_id = warp.warp_id
 
     def notify_removed(self, warp: Warp) -> None:

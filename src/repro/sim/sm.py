@@ -90,6 +90,11 @@ class StreamingMultiprocessor:
         # finished (a successful acquire/release advances the pc, so
         # every SRP state transition moves this too).
         self._last_progress_cycle = 0
+        # Observability: None (the default) costs one ``is not None``
+        # branch per cycle; ``repro.observe.SmObserver.attach`` installs
+        # a live one.  Must exist before ``_fill_ctas`` so the launch
+        # hook can test it.
+        self._observer = None
 
         self.scoreboard = Scoreboard()
         self.memory = MemoryModel(config, rng.fork(0x3E3))
@@ -108,6 +113,17 @@ class StreamingMultiprocessor:
         self._warps_by_scheduler: list[list[Warp]] = [
             [] for _ in range(config.num_schedulers)
         ]
+        # Issue-loop scratch: (scheduler, its warps, candidate buffer)
+        # per scheduler slot.  The warp lists are the *same* objects as
+        # ``_warps_by_scheduler`` entries (mutated in place by CTA
+        # launch/retire); the candidate buffers persist across cycles so
+        # ``step`` allocates nothing — building a fresh list per
+        # scheduler per cycle was measurable on long runs.
+        self._sched_units: list[tuple[WarpScheduler, list[Warp], list[Warp]]] = [
+            (sched, warps, [])
+            for sched, warps in zip(self.schedulers, self._warps_by_scheduler)
+        ]
+        self._resident_warp_count = 0
         self._next_warp_id = 0
         self._next_cta_seq = 0
         # Heterogeneous co-scheduling: an optional per-CTA kernel list
@@ -153,12 +169,18 @@ class StreamingMultiprocessor:
         self._ctas_by_id[cta.cta_id] = cta
         self._next_cta_seq += 1
         self.ctas_pending -= 1
+        self._resident_warp_count += len(warps)
         self.stats.ctas_launched += 1
         self.stats.warps_launched += len(warps)
+        if self._observer is not None:
+            self._observer.on_cta_launch(self, cta)
 
     def _retire_cta(self, cta: Cta) -> None:
         self.resident_ctas.remove(cta)
         del self._ctas_by_id[cta.cta_id]
+        self._resident_warp_count -= len(cta.warps)
+        if self._observer is not None:
+            self._observer.on_cta_retire(self, cta)
         for warp in cta.warps:
             self.scoreboard.remove_warp(warp.warp_id)
             # Warps were partitioned by id at launch; the owning
@@ -170,7 +192,7 @@ class StreamingMultiprocessor:
     # -- per-cycle machinery ------------------------------------------------------
     @property
     def resident_warps(self) -> int:
-        return sum(len(w) for w in self._warps_by_scheduler)
+        return self._resident_warp_count
 
     @property
     def done(self) -> bool:
@@ -283,10 +305,10 @@ class StreamingMultiprocessor:
             if warp.status is WarpStatus.WAITING_ACQUIRE:
                 warp.status = WarpStatus.READY
 
-        self.stats.resident_warp_cycles += self.resident_warps
+        self.stats.resident_warp_cycles += self._resident_warp_count
 
-        for sched, warps in zip(self.schedulers, self._warps_by_scheduler):
-            candidates = []
+        for sched, warps, candidates in self._sched_units:
+            candidates.clear()
             saw_barrier = saw_acquire = saw_scoreboard = saw_memory = False
             for warp in warps:
                 if warp.status is WarpStatus.FINISHED:
@@ -359,6 +381,8 @@ class StreamingMultiprocessor:
                     self.stats.stall_scoreboard += 1
         if self.config.debug_invariants:
             self.technique.check_invariants(cycle)
+        if self._observer is not None:
+            self._observer.on_cycle(self)
         return issued
 
     # -- failure diagnostics ------------------------------------------------------
@@ -432,7 +456,9 @@ class StreamingMultiprocessor:
         self.cycle += skip
         self.stats.idle_scheduler_cycles += skip * len(self.schedulers)
         self.stats.stall_memory += skip * len(self.schedulers)
-        self.stats.resident_warp_cycles += skip * self.resident_warps
+        self.stats.resident_warp_cycles += skip * self._resident_warp_count
+        if self._observer is not None:
+            self._observer.on_fast_forward(self, skip)
 
     def run(self, max_cycles: int = 50_000_000) -> SmStats:
         """Run to completion.
@@ -451,6 +477,8 @@ class StreamingMultiprocessor:
                 self._fast_forward()
             if window and self.cycle - self._last_progress_cycle > window:
                 diagnostic = self.diagnostic()
+                if self._observer is not None:
+                    self._observer.on_watchdog(self, diagnostic.summary())
                 raise SimulationDeadlockError(
                     f"SM {self.sm_id} made no forward progress for "
                     f"{self.cycle - self._last_progress_cycle} cycles "
@@ -466,4 +494,6 @@ class StreamingMultiprocessor:
                     diagnostic=self.diagnostic(),
                 )
         self.stats.cycles = self.cycle
+        if self._observer is not None:
+            self._observer.on_run_end(self)
         return self.stats

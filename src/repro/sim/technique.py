@@ -10,6 +10,8 @@ apples-to-apples swap.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.arch.config import GpuConfig
 from repro.arch.occupancy import OccupancyResult, theoretical_occupancy
 from repro.isa.instructions import Instruction
@@ -49,9 +51,14 @@ class SmTechniqueState:
     def on_warp_finish(self, warp: Warp, cycle: int) -> None:
         """Warp executed EXIT; reclaim any held resources."""
 
-    def wakeup_pending(self) -> list[Warp]:
-        """Warps whose blocked acquire may now succeed (drained each cycle)."""
-        return []
+    def wakeup_pending(self) -> "Sequence[Warp]":
+        """Warps whose blocked acquire may now succeed (drained each cycle).
+
+        Returns the empty tuple when nothing is pending — the SM calls
+        this every cycle, and techniques without wakeups (baseline, OWF,
+        RFV) must not allocate a fresh list per cycle for nothing.
+        """
+        return ()
 
     def check_invariants(self, cycle: int) -> None:
         """Raise ``InvariantViolationError`` if the technique's hardware
@@ -63,6 +70,14 @@ class SmTechniqueState:
         JSON-able values only — this crosses process boundaries inside
         error messages)."""
         return {}
+
+    def srp_view(self) -> "tuple[int, int] | None":
+        """(sections in use, total sections) for the observability probes.
+
+        None means the technique has no shared pool (stock GPU); the
+        probes then record a zero-width SRP track.
+        """
+        return None
 
     def resolve_physical(self, warp: Warp, arch_reg: int) -> int:
         """Architected-to-physical mapping for the bank-conflict model.

@@ -1,24 +1,26 @@
-"""Cycle-trace recording for debugging and analysis.
+"""Cycle-trace recording — compatibility shim over the event bus.
 
-A :class:`TraceRecorder` subscribes to an SM and logs issue events,
-acquire/release outcomes, barrier arrivals, and CTA launches/retirements
-as structured tuples.  It exists for three consumers: the test suite
-(asserting event orderings the aggregate counters cannot express),
-interactive debugging of workload shapes, and the per-warp timeline
-example.
-
-The recorder wraps a technique state (decorator pattern) so it sees
-acquire/release traffic without the SM pipeline knowing about tracing.
+This module predates :mod:`repro.observe`; its :class:`TraceEvent` /
+:class:`Trace` containers and the :class:`TracingTechniqueState`
+decorator are kept so existing tests and examples run unchanged, but
+the recording itself now rides the observability event bus: the shim is
+an :class:`~repro.observe.hooks.ObservingTechniqueState` with a private
+bus whose events are down-converted to ``TraceEvent``.  New code should
+attach a :class:`repro.observe.SmObserver` instead, which adds stall
+attribution, CTA lifecycle, SRP section tracks, and probe timelines on
+top of the five kinds recorded here.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.isa.instructions import Instruction
+from repro.observe.bus import EventBus
+from repro.observe.events import SimEvent
+from repro.observe.hooks import ObservingTechniqueState
 from repro.sim.technique import SmTechniqueState
-from repro.sim.warp import Warp
 
 
 @dataclass(frozen=True)
@@ -79,38 +81,34 @@ class Trace:
         return len(self.events)
 
 
-class TracingTechniqueState(SmTechniqueState):
-    """Wraps another technique state and records its decisions."""
+# The five event kinds the legacy recorder captured; the bus also
+# carries stall/CTA/section kinds, which the shim drops.
+_TRACE_KINDS = frozenset(
+    ("issue", "acquire_ok", "acquire_blocked", "release", "warp_finish")
+)
+
+
+class TracingTechniqueState(ObservingTechniqueState):
+    """Deprecated recorder: an observing wrapper feeding a :class:`Trace`.
+
+    Kept for source compatibility; emits a :class:`DeprecationWarning`
+    on construction.  Prefer ``repro.observe.SmObserver.attach(sm)``.
+    """
 
     def __init__(self, inner: SmTechniqueState, trace: Trace | None = None) -> None:
-        super().__init__(inner.kernel, inner.config, inner.stats)
-        self.inner = inner
+        warnings.warn(
+            "TracingTechniqueState is deprecated; attach a "
+            "repro.observe.SmObserver (or wrap with "
+            "repro.observe.ObservingTechniqueState) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(inner, EventBus())
         self.trace = trace if trace is not None else Trace()
+        self.bus.subscribe(self._record)
 
-    def can_issue(self, warp: Warp, inst: Instruction, cycle: int) -> bool:
-        return self.inner.can_issue(warp, inst, cycle)
-
-    def on_issue(self, warp: Warp, inst: Instruction, cycle: int) -> None:
-        self.trace.append(TraceEvent(
-            cycle, "issue", warp.warp_id, warp.pc, inst.opcode.value
-        ))
-        self.inner.on_issue(warp, inst, cycle)
-
-    def try_acquire(self, warp: Warp, cycle: int) -> bool:
-        granted = self.inner.try_acquire(warp, cycle)
-        kind = "acquire_ok" if granted else "acquire_blocked"
-        self.trace.append(TraceEvent(cycle, kind, warp.warp_id, warp.pc))
-        return granted
-
-    def release(self, warp: Warp, cycle: int) -> None:
-        held_before = warp.holds_extended_set
-        self.inner.release(warp, cycle)
-        if held_before:
-            self.trace.append(TraceEvent(cycle, "release", warp.warp_id, warp.pc))
-
-    def on_warp_finish(self, warp: Warp, cycle: int) -> None:
-        self.inner.on_warp_finish(warp, cycle)
-        self.trace.append(TraceEvent(cycle, "warp_finish", warp.warp_id, warp.pc))
-
-    def wakeup_pending(self) -> list[Warp]:
-        return self.inner.wakeup_pending()
+    def _record(self, event: SimEvent) -> None:
+        if event.kind in _TRACE_KINDS:
+            self.trace.append(TraceEvent(
+                event.cycle, event.kind, event.warp_id, event.pc, event.detail
+            ))

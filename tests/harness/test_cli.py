@@ -69,12 +69,19 @@ class TestCli:
         assert main([
             "--cache", str(tmp_path / "c.json"),
             "--workers", "2", "bench",
+            "--label", "cli-test", "--artifact-dir", str(tmp_path),
         ]) == 0
         out = capsys.readouterr().out
         assert "fig7" in out
         assert "orchestration telemetry" in out
         assert "cache misses" in out
         assert "slowest" in out
+        assert "BENCH_cli-test.json" in out
+        from repro.observe.perf import load_perf_artifact
+
+        artifact = load_perf_artifact(str(tmp_path / "BENCH_cli-test.json"))
+        assert artifact["totals"]["jobs"] == 2
+        assert artifact["totals"]["cycles"] > 0
 
     def test_run_single_app(self, capsys, tmp_path):
         # Mini end-to-end through the CLI; uses the real GTX480 but the

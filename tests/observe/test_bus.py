@@ -1,0 +1,104 @@
+"""Unit tests for the event bus and event log (no simulator involved)."""
+
+import pytest
+
+from repro.observe import (
+    ACQUIRE_OK,
+    ISSUE,
+    RELEASE,
+    STALL,
+    WARP_FINISH,
+    EventBus,
+    EventLog,
+    SimEvent,
+)
+
+
+def _ev(cycle, kind, warp_id=-1, detail=None, value=0):
+    return SimEvent(cycle, kind, warp_id=warp_id, detail=detail, value=value)
+
+
+class TestEventBus:
+    def test_wildcard_subscriber_sees_everything(self):
+        bus, seen = EventBus(), []
+        bus.subscribe(seen.append)
+        bus.emit(_ev(1, ISSUE, 0))
+        bus.emit(_ev(2, RELEASE, 1))
+        assert [e.kind for e in seen] == [ISSUE, RELEASE]
+
+    def test_kind_subscriber_filters(self):
+        bus, seen = EventBus(), []
+        bus.subscribe(seen.append, kind=RELEASE)
+        bus.emit(_ev(1, ISSUE, 0))
+        bus.emit(_ev(2, RELEASE, 1))
+        bus.emit(_ev(3, ISSUE, 0))
+        assert [e.cycle for e in seen] == [2]
+
+    def test_unknown_kind_rejected_at_subscribe(self):
+        with pytest.raises(KeyError, match="unknown event kind"):
+            EventBus().subscribe(lambda e: None, kind="not_a_kind")
+
+    def test_subscribe_returns_fn(self):
+        bus = EventBus()
+        fn = lambda e: None  # noqa: E731
+        assert bus.subscribe(fn) is fn
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        assert bus.subscriber_count == 0
+        bus.subscribe(lambda e: None)
+        bus.subscribe(lambda e: None, kind=ISSUE)
+        bus.subscribe(lambda e: None, kind=ISSUE)
+        assert bus.subscriber_count == 3
+
+    def test_wildcard_then_kind_dispatch_order(self):
+        bus, order = EventBus(), []
+        bus.subscribe(lambda e: order.append("any"))
+        bus.subscribe(lambda e: order.append("kind"), kind=ISSUE)
+        bus.emit(_ev(1, ISSUE))
+        assert order == ["any", "kind"]
+
+
+class TestEventLog:
+    def _log(self, *events):
+        log = EventLog()
+        for e in events:
+            log.append(e)
+        return log
+
+    def test_len_iter_and_of_kind(self):
+        log = self._log(_ev(1, ISSUE, 0), _ev(2, RELEASE, 0),
+                        _ev(3, ISSUE, 1))
+        assert len(log) == 3
+        assert [e.cycle for e in log] == [1, 2, 3]
+        assert len(log.of_kind(ISSUE)) == 2
+
+    def test_for_warp_and_warp_ids(self):
+        log = self._log(_ev(1, ISSUE, 0), _ev(2, ISSUE, 3),
+                        _ev(3, STALL, detail="memory", value=2))
+        assert [e.warp_id for e in log.for_warp(3)] == [3]
+        assert log.warp_ids() == [0, 3]  # stall has no warp subject
+
+    def test_hold_intervals_pairing(self):
+        log = self._log(
+            _ev(10, ACQUIRE_OK, 0), _ev(20, RELEASE, 0),
+            _ev(30, ACQUIRE_OK, 0), _ev(45, RELEASE, 0),
+        )
+        assert log.hold_intervals(0) == [(10, 20), (30, 45)]
+
+    def test_unmatched_hold_closes_at_finish(self):
+        log = self._log(_ev(10, ACQUIRE_OK, 0), _ev(25, WARP_FINISH, 0))
+        assert log.hold_intervals(0) == [(10, 25)]
+
+    def test_unmatched_hold_closes_at_last_logged_cycle(self):
+        log = self._log(_ev(10, ACQUIRE_OK, 0), _ev(99, ISSUE, 1))
+        assert log.hold_intervals(0) == [(10, 99)]
+
+    def test_stall_totals_sums_by_category(self):
+        log = self._log(
+            _ev(1, STALL, detail="memory", value=2),
+            _ev(2, STALL, detail="memory", value=3),
+            _ev(2, STALL, detail="acquire", value=1),
+            _ev(3, ISSUE, 0),
+        )
+        assert log.stall_totals() == {"memory": 5, "acquire": 1}

@@ -1,0 +1,70 @@
+"""End-to-end profiled runs and the text report."""
+
+from repro.observe import (
+    chrome_trace_events,
+    profile_kernel,
+    profile_report,
+    validate_chrome_trace,
+)
+from repro.regmutex.issue_logic import RegMutexTechnique
+from repro.sim.technique import BaselineTechnique
+from tests.conftest import looped_kernel, straightline_kernel
+
+
+class TestProfileKernel:
+    def test_baseline_smoke(self, config):
+        result = profile_kernel(
+            straightline_kernel(), config, BaselineTechnique(), stride=16
+        )
+        assert result.error is None
+        assert result.technique_name == "baseline"
+        assert result.stats.cycles > 0
+        assert result.srp_sections == 0  # stock GPU has no pool
+        assert len(result.samples) > 0
+        assert len(result.log) > 0
+
+    def test_regmutex_profile_produces_valid_trace(self, config):
+        result = profile_kernel(
+            looped_kernel(), config, RegMutexTechnique(), stride=16
+        )
+        assert result.error is None
+        events = chrome_trace_events(result.log, result.samples)
+        assert validate_chrome_trace(events) == len(events)
+
+    def test_total_ctas_defaults_to_two_waves(self, config):
+        tech = BaselineTechnique()
+        kernel = straightline_kernel()
+        resident = tech.occupancy(kernel, config).ctas_per_sm
+        result = profile_kernel(kernel, config, tech)
+        assert result.total_ctas == max(1, resident) * 2
+
+    def test_explicit_cta_count_respected(self, config):
+        result = profile_kernel(
+            straightline_kernel(), config, BaselineTechnique(), total_ctas=3
+        )
+        assert result.total_ctas == 3
+        assert result.stats.ctas_launched == 3
+
+
+class TestProfileReport:
+    def test_report_renders_all_sections(self, config):
+        result = profile_kernel(
+            looped_kernel(), config, RegMutexTechnique(), stride=16
+        )
+        text = profile_report(
+            result.stats, config, samples=result.samples, log=result.log,
+            title="looped @ regmutex",
+        )
+        assert text.startswith("looped @ regmutex\n")
+        assert "stall attribution" in text
+        assert "cycles" in text and "IPC" in text
+        assert "timelines" in text
+        assert "event log:" in text
+
+    def test_report_works_without_observations(self, config):
+        result = profile_kernel(
+            straightline_kernel(), config, BaselineTechnique()
+        )
+        text = profile_report(result.stats, config)
+        assert "stall attribution" in text
+        assert "timelines" not in text

@@ -1,0 +1,75 @@
+"""The legacy ``sim.trace`` recorder as a shim over the event bus."""
+
+import pytest
+
+from repro.observe import ISSUE, ObservingTechniqueState
+from repro.regmutex.issue_logic import RegMutexSmState
+from repro.sim.rand import DeterministicRng
+from repro.sim.sm import StreamingMultiprocessor
+from repro.sim.stats import SmStats
+from repro.sim.trace import Trace, TraceEvent, TracingTechniqueState
+
+
+def _run_traced(config, kernel):
+    stats = SmStats()
+    inner = RegMutexSmState(kernel, config, stats, num_sections=2)
+    with pytest.warns(DeprecationWarning, match="TracingTechniqueState"):
+        traced = TracingTechniqueState(inner)
+    sm = StreamingMultiprocessor(
+        sm_id=0, config=config, kernel=kernel, technique_state=traced,
+        ctas_resident_limit=2, total_ctas=1,
+        rng=DeterministicRng(1), stats=stats,
+    )
+    sm.run()
+    return traced
+
+
+class TestTraceShim:
+    def test_construction_warns_deprecated(self, config, regmutex_kernel):
+        stats = SmStats()
+        inner = RegMutexSmState(regmutex_kernel(), config, stats,
+                                num_sections=2)
+        with pytest.warns(DeprecationWarning):
+            TracingTechniqueState(inner)
+
+    def test_shim_is_an_observing_wrapper(self, config, regmutex_kernel):
+        traced = _run_traced(config, regmutex_kernel())
+        assert isinstance(traced, ObservingTechniqueState)
+
+    def test_records_the_legacy_vocabulary(self, config, regmutex_kernel):
+        traced = _run_traced(config, regmutex_kernel())
+        trace = traced.trace
+        assert {e.kind for e in trace.events} == {
+            "issue", "acquire_ok", "release", "warp_finish"
+        }
+        assert len(trace.of_kind("issue")) == 2 * 16
+        issue = trace.of_kind("issue")[0]
+        assert isinstance(issue, TraceEvent)
+        assert issue.opcode  # detail -> opcode mapping preserved
+
+    def test_extra_bus_kinds_are_dropped(self, config, regmutex_kernel):
+        # The shim's private bus never carries stall/CTA/section events
+        # (no SmObserver drives them), and even direct emission of a
+        # non-legacy kind must not leak into the Trace.
+        from repro.observe import SECTION_ACQUIRE, SimEvent
+
+        stats = SmStats()
+        inner = RegMutexSmState(regmutex_kernel(), config, stats,
+                                num_sections=2)
+        with pytest.warns(DeprecationWarning):
+            traced = TracingTechniqueState(inner)
+        traced.bus.emit(SimEvent(1, SECTION_ACQUIRE, warp_id=0, value=0))
+        assert len(traced.trace) == 0
+
+    def test_existing_trace_instance_reused(self, config, regmutex_kernel):
+        stats = SmStats()
+        inner = RegMutexSmState(regmutex_kernel(), config, stats,
+                                num_sections=2)
+        mine = Trace()
+        with pytest.warns(DeprecationWarning):
+            traced = TracingTechniqueState(inner, trace=mine)
+        assert traced.trace is mine
+
+    def test_issue_kind_constant_matches_bus(self, config, regmutex_kernel):
+        traced = _run_traced(config, regmutex_kernel())
+        assert traced.trace.of_kind(ISSUE)  # same string vocabulary

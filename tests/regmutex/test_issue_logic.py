@@ -101,7 +101,7 @@ class TestAcquireRelease:
         state.try_acquire(w1, 1)
         state.on_warp_finish(w1, 5)  # parked warp dies (exception path)
         state.release(w0, 10)
-        assert state.wakeup_pending() == []
+        assert list(state.wakeup_pending()) == []
 
     def test_eager_policy_does_not_park(self):
         state, _ = _state(sections=1, retry="eager")

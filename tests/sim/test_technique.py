@@ -18,7 +18,7 @@ class TestDefaults:
         state.release(warp, 0)                 # and so is release
         state.on_issue(warp, kernel[0], 0)
         state.on_warp_finish(warp, 0)
-        assert state.wakeup_pending() == []
+        assert list(state.wakeup_pending()) == []
 
     def test_baseline_occupancy_matches_calculator(self):
         from repro.arch.occupancy import theoretical_occupancy
