@@ -53,6 +53,19 @@ class GpuConfig:
     # checks (SRP bitmask/LUT/status consistency) every cycle, raising
     # InvariantViolationError at the first inconsistent state.
     debug_invariants: bool = False
+    # Dynamic sanitizer (repro.check.sanitizer): folds the scattered
+    # runtime checks — extended-access permission, physical-bounds,
+    # per-cycle SRP structural consistency, scoreboard hazard re-check,
+    # wait-queue hygiene — into one per-issue/per-cycle checker emitting
+    # typed SanitizerViolation reports with warp/pc/cycle provenance.
+    sanitizer: bool = False
+    # Cadence of the sanitizer's per-cycle *structural* checks (SRP
+    # consistency, wait-queue hygiene, slot accounting): 1 = every cycle
+    # (the default; what the fault campaign relies on for tight
+    # detection latency).  The oracle's long differential runs raise it
+    # — per-issue checks still run on every instruction, so only the
+    # detection latency of purely structural corruption changes.
+    sanitizer_stride: int = 1
 
     def __post_init__(self) -> None:
         if self.warp_size <= 0 or self.num_sms <= 0:
@@ -67,6 +80,8 @@ class GpuConfig:
             raise ValueError("l1_hit_rate must lie in [0, 1]")
         if self.watchdog_window < 0:
             raise ValueError("watchdog_window must be >= 0 (0 disables)")
+        if self.sanitizer_stride <= 0:
+            raise ValueError("sanitizer_stride must be positive")
 
     @property
     def registers_per_sm_per_thread_slot(self) -> int:

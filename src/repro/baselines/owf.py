@@ -132,6 +132,10 @@ class OwfSmState(SmTechniqueState):
 
     def on_warp_finish(self, warp: Warp, cycle: int) -> None:
         self._natives.pop(warp.warp_id, None)
+        if warp in self._pending_wakeups:
+            # The warp finished before consuming its wakeup (its lock is
+            # one-shot, so nothing transfers — just drop the stale entry).
+            self._pending_wakeups.remove(warp)
         for waiter in self._waiting_on.pop(warp.warp_id, []):
             waiter.owns_pair_lock = True
             self._partner.pop(waiter.warp_id, None)

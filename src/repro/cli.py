@@ -11,6 +11,8 @@ Usage::
     python -m repro profile SAD --out trace.json [--stride 64] [--csv t.csv]
     python -m repro bench [--figures fig7,fig9a] [--workers 8] [--label ci]
     python -m repro faults [--seed 7] [--skip-harness]
+    python -m repro check [--smoke] [--apps BFS,SAD] [--update-golden]
+    python -m repro check --faults
 
 ``run`` executes a single (app, technique) pair and prints the raw
 record — the quickest way to poke at one configuration.  ``profile``
@@ -29,12 +31,23 @@ figure.
 (:mod:`repro.faults.campaign`): every registered fault kind is armed
 against its layer and the detection-rate table (injected vs detected vs
 escaped) is printed; the exit code is non-zero if any fault escaped.
+
+``check`` runs the differential execution oracle (:mod:`repro.check`):
+each app is simulated under all five techniques with the sanitizer
+armed and a shadow architectural executor attached, and the final
+register/memory state and per-warp retired-instruction streams are
+asserted equivalent modulo each technique's documented remapping.
+``--update-golden`` (re)writes the golden snapshots under
+``tests/check/golden/``; ``--smoke`` restricts to the three-app CI
+subset; ``--faults`` instead re-runs the fault campaign with the
+sanitizer armed and reports which mechanism caught each fault.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.arch.config import GTX480
 from repro.baselines.owf import OwfTechnique, owf_priority
@@ -134,6 +147,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip-harness", action="store_true",
         help="skip the orchestrator/worker-pool scenarios "
              "(they spawn real processes and take a few seconds)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="differential execution oracle: prove the five techniques "
+             "equivalent per app (exit 1 on any mismatch)",
+    )
+    check.add_argument(
+        "--apps", default=None,
+        help="comma-separated app subset (default: all 16 Table I apps)",
+    )
+    check.add_argument(
+        "--smoke", action="store_true",
+        help="use the three-app CI subset "
+             "(ignored when --apps is given)",
+    )
+    check.add_argument(
+        "--update-golden", action="store_true",
+        help="(re)write the golden snapshots instead of comparing",
+    )
+    check.add_argument(
+        "--golden-dir", default=None, metavar="DIR",
+        help="golden snapshot directory "
+             "(default: tests/check/golden)",
+    )
+    check.add_argument("--seed", type=int, default=2018,
+                       help="oracle seed (default: %(default)s)")
+    check.add_argument(
+        "--faults", action="store_true",
+        help="instead run the fault campaign with the sanitizer armed "
+             "and report which mechanism classified each fault",
     )
 
     run = sub.add_parser("run", help="run one app under one technique")
@@ -347,6 +391,57 @@ def _cmd_faults(args) -> int:
     return 1 if any(o.escaped for o in outcomes) else 0
 
 
+def _cmd_check(args) -> int:
+    """Differential oracle / sanitized fault campaign; exit 1 on failure."""
+    from repro.check.oracle import DEFAULT_GOLDEN_DIR, SMOKE_APPS, check_apps
+
+    if args.faults:
+        from repro.check.adversarial import run_adversarial_campaign
+        from repro.faults.campaign import campaign_table
+
+        outcomes = run_adversarial_campaign(
+            seed=args.seed, workers=max(2, args.workers)
+        )
+        print(campaign_table(outcomes))
+        return 1 if any(o.escaped for o in outcomes) else 0
+
+    apps = _apps_arg(args)
+    if apps is None and args.smoke:
+        apps = SMOKE_APPS
+    golden_dir = (
+        Path(args.golden_dir) if args.golden_dir else DEFAULT_GOLDEN_DIR
+    )
+    results = check_apps(
+        apps=apps,
+        seed=args.seed,
+        workers=args.workers,
+        golden_dir=golden_dir,
+        update_golden=args.update_golden,
+    )
+    rows = []
+    for result in results:
+        base = result.traces.get("baseline")
+        verdict = "ok" if result.ok else "MISMATCH"
+        if result.golden_updated:
+            verdict = "golden updated"
+        rows.append([
+            result.app,
+            len(result.traces),
+            base.cycles if base else "-",
+            f"{base.stream_digest:#x}" if base else "-",
+            verdict,
+        ])
+    print(format_table(
+        ["app", "techniques", "base cycles", "stream digest", "verdict"],
+        rows,
+    ))
+    failures = [r for r in results if not r.ok]
+    for result in failures:
+        for line in result.equivalence_mismatches + result.golden_mismatches:
+            print(f"  {result.app}: {line}")
+    return 1 if failures else 0
+
+
 def _cmd_experiment(name: str, args, runner: ExperimentRunner) -> int:
     apps = _apps_arg(args)
 
@@ -459,6 +554,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "profile":
         return _cmd_profile(args)
     with ExperimentRunner(cache_path=args.cache) as runner:

@@ -9,10 +9,14 @@ live register ``o >= |Bs|`` at a release point, the pass:
 3. renames every use of ``o`` that is reached by this move — forward
    along the CFG until ``o`` is redefined — to ``f``.
 
-The rename is only sound if no renamed use is *also* reachable from a
-different definition of ``o`` that bypasses the move; the pass verifies
-this and raises :class:`CompactionError` otherwise (the workload
-generator never produces such shapes, but hand-written kernels could).
+The rename is only sound if (a) no renamed use is *also* reachable from
+a different definition of ``o`` that bypasses the move, and (b) the
+chosen slot ``f`` is not redefined on any path between the move and a
+renamed use — ``f`` being dead *at the release* says nothing about the
+span the moved value must survive.  The pass verifies (a) and raises
+:class:`CompactionError` when violated; for (b) it skips clobbered
+candidate slots during selection and only fails when no safe slot
+exists.
 """
 
 from __future__ import annotations
@@ -59,6 +63,37 @@ def _uses_reached(kernel: Kernel, start_pc: int, reg: int) -> set[int]:
             continue  # value killed past this point on this path
         stack.extend(_successor_pcs(kernel, pc))
     return uses
+
+
+def _dst_clobbered(kernel: Kernel, start_pc: int, src: int, dst: int) -> bool:
+    """Whether a redefinition of ``dst`` can clobber the moved value of
+    ``src`` before a renamed use reads it.
+
+    Walks forward from ``start_pc`` (the instruction after the release)
+    along paths that do not redefine ``src`` — the rename chain ends at
+    a redefinition.  A definition of ``dst`` inside that region is fatal
+    iff some use of ``src`` lies ahead of it on such a path: after the
+    rename that use reads ``dst`` and would observe the clobber.  An
+    instruction that redefines both ends the chain and cannot clobber
+    (its own ``src`` operands read before the write).
+    """
+    seen: set[int] = set()
+    stack = [start_pc]
+    while stack:
+        pc = stack.pop()
+        if pc in seen or pc >= len(kernel):
+            continue
+        seen.add(pc)
+        inst = kernel[pc]
+        if src in inst.dsts:
+            continue
+        if dst in inst.dsts:
+            for succ in _successor_pcs(kernel, pc):
+                if _uses_reached(kernel, succ, src):
+                    return True
+            continue
+        stack.extend(_successor_pcs(kernel, pc))
+    return False
 
 
 def _other_defs_reach(kernel: Kernel, reg: int, use_pc: int, barrier_pc: int) -> bool:
@@ -127,7 +162,40 @@ def _compact_one(kernel: Kernel, base_set_size: int, info) -> Kernel | None:
             )
 
         instructions = list(kernel.instructions)
-        rename_pairs = list(zip(overflow, free))
+        # Pair each overflow register with a base slot that is free at
+        # the release AND survives until the renamed uses (no
+        # redefinition of the slot on the way — see _dst_clobbered; the
+        # oracle caught MRI-Q computing with a clobbered slot when the
+        # pairing was done blindly by release-point liveness alone).
+        # Matched with augmenting paths, not first-fit: one register's
+        # only safe slot may be another's first choice.  When nothing
+        # clobbers, this reduces to the plain overflow[i] -> free[i]
+        # pairing, so previously-correct kernels compile unchanged.
+        safe_slots = {
+            src: [f for f in free if not _dst_clobbered(kernel, pc + 1, src, f)]
+            for src in overflow
+        }
+        slot_owner: dict[int, int] = {}
+
+        def _assign(src: int, visited: set[int]) -> bool:
+            for f in safe_slots[src]:
+                if f in visited:
+                    continue
+                visited.add(f)
+                if f not in slot_owner or _assign(slot_owner[f], visited):
+                    slot_owner[f] = src
+                    return True
+            return False
+
+        for src in overflow:
+            if not _assign(src, set()):
+                raise CompactionError(
+                    f"release at pc {pc}: no conflict-free base slot "
+                    f"assignment covers R{src} (every free slot is "
+                    "redefined before a renamed use)"
+                )
+        slot_of = {src: f for f, src in slot_owner.items()}
+        rename_pairs = [(src, slot_of[src]) for src in overflow]
         # Insert MOVs before the release (old pc shifts by the count).
         movs = [
             Instruction(

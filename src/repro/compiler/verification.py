@@ -95,6 +95,18 @@ def verify_regmutex_safety(kernel: Kernel, base_set_size: int) -> VerificationRe
             warnings.append(
                 f"pc {pc}: release reachable while not holding (no-op)"
             )
+        if extended and not may_hold[pc] and not may_free[pc]:
+            # Unreachable from pc 0: both reachability bits stayed False,
+            # so the access check above never saw it.  Dead code cannot
+            # corrupt state at runtime, but an extended access there is
+            # still suspicious (a branch-target bug away from being
+            # live), so surface it instead of silently passing.
+            regs = ", ".join(f"R{r}" for r in sorted(set(extended)))
+            warnings.append(
+                f"pc {pc}: {inst.opcode.value} touches extended {regs} "
+                "in unreachable code (never verified against the "
+                "hold-state contract)"
+            )
 
     return VerificationResult(
         violations=tuple(violations),

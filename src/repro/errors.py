@@ -133,6 +133,24 @@ class KernelPlacementError(SimulationError):
     kind = "placement"
 
 
+class SanitizerError(SimulationError):
+    """The dynamic sanitizer (``GpuConfig.sanitizer``) observed one or
+    more runtime contract violations.  ``violations`` holds the typed
+    :class:`repro.check.sanitizer.SanitizerViolation` reports (each with
+    warp/pc/cycle provenance); the message summarizes the first."""
+
+    kind = "sanitizer-violation"
+
+    def __init__(
+        self,
+        message: str,
+        violations: tuple = (),
+        diagnostic: DeadlockDiagnostic | dict | None = None,
+    ) -> None:
+        super().__init__(message, diagnostic=diagnostic)
+        self.violations = violations
+
+
 class FaultInjectionError(RuntimeError):
     """A fault campaign was misconfigured (unknown fault kind, no
     injection site in the target kernel)."""

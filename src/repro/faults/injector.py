@@ -211,11 +211,10 @@ class FaultingRegMutexState(RegMutexSmState):
             and warp.holds_extended_set
         ):
             self._releases_seen += 1
-            slot = warp.warp_id % self.config.max_warps_per_sm
             # The release never reaches the SRP: the warp believes it
             # released (and the pipeline advances it), but the section
             # bit stays set and no waiter is woken.
-            self.srp.corrupt_for_fault_injection(clear_slots=(slot,))
+            self.srp.corrupt_for_fault_injection(clear_slots=(warp.slot,))
             warp.holds_extended_set = False
             warp.srp_section = None
             self.fault_fired_at = cycle

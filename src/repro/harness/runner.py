@@ -81,6 +81,13 @@ class RunRecord:
 # instead of silently trusted or fatally wiping the whole cache.
 CACHE_FORMAT_VERSION = 2
 
+# Simulator-semantics version folded into every cache key.  Bump ONLY
+# when a change alters simulated cycle counts — a bump invalidates every
+# cached run everywhere.  Checkers, observers, and other timing-neutral
+# additions must leave it alone (the differential oracle in repro.check
+# exists to prove that neutrality).
+CACHE_KEY_VERSION = "v6"
+
 
 def _record_checksum(fields: dict) -> str:
     """Content hash of a serialized RunRecord (sorted-key canonical JSON)."""
@@ -223,7 +230,7 @@ class ExperimentRunner:
                 _technique_fingerprint(technique),
                 str(self.seed),
                 str(self.target_ctas_per_sm),
-                "v6",  # bump to invalidate after simulator-semantics changes
+                CACHE_KEY_VERSION,
             ]
         )
         return hashlib.sha256(payload.encode()).hexdigest()

@@ -49,12 +49,17 @@ WATCHDOG = "watchdog"           # detail = diagnostic summary
 SECTION_ACQUIRE = "section_acquire"
 SECTION_RELEASE = "section_release"
 
+# Dynamic sanitizer violation (emitted by repro.check.sanitizer when a
+# bus is attached): ``detail`` is "<check>: <message>", ``warp_id``/``pc``
+# the provenance (-1 when the violation has no warp subject).
+SANITIZER = "sanitizer"
+
 STALL_CATEGORIES = ("memory", "scoreboard", "barrier", "acquire")
 
 ALL_KINDS = frozenset({
     ISSUE, ACQUIRE_OK, ACQUIRE_BLOCKED, RELEASE, WARP_FINISH,
     CTA_LAUNCH, CTA_RETIRE, STALL, FAST_FORWARD, WATCHDOG,
-    SECTION_ACQUIRE, SECTION_RELEASE,
+    SECTION_ACQUIRE, SECTION_RELEASE, SANITIZER,
 })
 
 

@@ -32,6 +32,7 @@ from repro.observe.events import (
     CTA_RETIRE,
     ISSUE,
     RELEASE,
+    SANITIZER,
     SECTION_ACQUIRE,
     SECTION_RELEASE,
     WARP_FINISH,
@@ -184,6 +185,14 @@ def _sm_instant_events(log: EventLog, sm_id: int) -> list[dict]:
             out.append({"ph": "i", "ts": e.cycle, "pid": sm_id, "tid": TID_SM,
                         "name": "watchdog", "s": "p",
                         "args": {"summary": e.detail or ""}})
+        elif e.kind == SANITIZER:
+            # Route the violation to the offending warp's track when it
+            # has a warp subject, otherwise to the SM track.
+            tid = TID_WARP_BASE + e.warp_id if e.warp_id >= 0 else TID_SM
+            out.append({"ph": "i", "ts": e.cycle, "pid": sm_id, "tid": tid,
+                        "name": "sanitizer violation", "s": "p",
+                        "args": {"violation": e.detail or "",
+                                 "pc": e.pc}})
     return out
 
 

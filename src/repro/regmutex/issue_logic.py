@@ -89,7 +89,7 @@ class RegMutexSmState(SmTechniqueState):
 
     def try_acquire(self, warp: Warp, cycle: int) -> bool:
         self.stats.acquire_attempts += 1
-        section = self.srp.acquire(warp.warp_id % self.config.max_warps_per_sm)
+        section = self.srp.acquire(warp.slot)
         if section is not None:
             self.stats.acquire_successes += 1
             warp.holds_extended_set = True
@@ -107,7 +107,7 @@ class RegMutexSmState(SmTechniqueState):
         return False
 
     def release(self, warp: Warp, cycle: int) -> None:
-        freed = self.srp.release(warp.warp_id % self.config.max_warps_per_sm)
+        freed = self.srp.release(warp.slot)
         if freed is not None:
             self.stats.release_count += 1
             warp.holds_extended_set = False
@@ -126,6 +126,14 @@ class RegMutexSmState(SmTechniqueState):
             self.release(warp, cycle)
         if warp in self._wait_queue:
             self._wait_queue.remove(warp)
+        if warp in self._pending_wakeups:
+            # The warp finished (or was watchdog-killed) between being
+            # granted a wakeup and consuming it.  Dropping the stale
+            # wakeup alone would strand the freed section until the next
+            # release, so hand it to the next parked waiter.
+            self._pending_wakeups.remove(warp)
+            if self._wait_queue:
+                self._pending_wakeups.append(self._wait_queue.pop(0))
 
     def wakeup_pending(self) -> list[Warp] | tuple:
         woken = self._pending_wakeups
@@ -182,9 +190,8 @@ class RegMutexSmState(SmTechniqueState):
         """
         md = self.kernel.metadata
         bs = md.base_set_size or md.regs_per_thread
-        slot = warp.warp_id % self.config.max_warps_per_sm
         if arch_reg < bs or not warp.holds_extended_set:
-            return arch_reg + bs * slot
+            return arch_reg + bs * warp.slot
         es = md.extended_set_size or 0
         section = warp.srp_section or 0
         srp_offset = bs * self.config.max_warps_per_sm

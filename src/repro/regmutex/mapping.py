@@ -32,10 +32,13 @@ class RegMutexRegisterMapper:
             raise ValueError("base set size must be positive")
         if extended_set_size < 0:
             raise ValueError("extended set size must be non-negative")
+        if resident_warps <= 0:
+            raise ValueError("resident_warps must be positive")
         self._bs = base_set_size
         self._es = extended_set_size
         self._srp = srp
         self._total = total_registers
+        self._resident_warps = resident_warps
         # SRP begins right after the statically packed base blocks.
         self._srp_offset = base_set_size * resident_warps
         srp_capacity = extended_set_size * srp.num_sections
@@ -51,6 +54,14 @@ class RegMutexRegisterMapper:
         return self._srp_offset
 
     def resolve(self, warp_index: int, arch_reg: int) -> MappedRegister:
+        if not 0 <= warp_index < self._resident_warps:
+            # A base-path resolve for an out-of-range warp index would
+            # silently land inside SRP physical space (the mux has no
+            # bounds wire); reject it before either path computes.
+            raise ValueError(
+                f"warp index {warp_index} outside resident range "
+                f"[0, {self._resident_warps})"
+            )
         if arch_reg < self._bs:
             # Base path of the mux: Y = X + |Bs| * Widx.
             return MappedRegister(

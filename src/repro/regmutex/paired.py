@@ -36,8 +36,7 @@ class PairedWarpsSmState(SmTechniqueState):
         self._wakeup_spare: list[Warp] = []
 
     def _pair_of(self, warp: Warp) -> int:
-        slot = warp.warp_id % self.config.max_warps_per_sm
-        return slot // 2
+        return warp.slot // 2
 
     def try_acquire(self, warp: Warp, cycle: int) -> bool:
         self.stats.acquire_attempts += 1
@@ -78,6 +77,11 @@ class PairedWarpsSmState(SmTechniqueState):
         pair = self._pair_of(warp)
         if self._waiting.get(pair) is warp:
             del self._waiting[pair]
+        if warp in self._pending_wakeups:
+            # Stale wakeup for a finished warp: drop it.  No handoff is
+            # needed — the pair's only other member is the one that
+            # released, and it reacquires without a wakeup.
+            self._pending_wakeups.remove(warp)
 
     def wakeup_pending(self) -> list[Warp] | tuple:
         woken = self._pending_wakeups

@@ -114,7 +114,11 @@ class SharedRegisterPool:
 
     @property
     def sections_free(self) -> int:
-        return self._num_sections - self.sections_in_use
+        # Clamped: after corrupt_for_fault_injection leaks a section the
+        # raw count can go negative; fault diagnostics read this as an
+        # occupancy figure, so it never reports "-1 free".  The raw value
+        # still trips check_invariants.
+        return max(0, self._num_sections - self.sections_in_use)
 
     def lut_entry(self, warp_slot: int) -> Optional[int]:
         return self._lut[warp_slot]
@@ -202,10 +206,26 @@ class SharedRegisterPool:
                 )
             else:
                 assert self._lut[slot] is None, f"slot {slot}: stale LUT entry"
-        assert self.sections_in_use == len(held)
-        assert 0 <= self.sections_free <= self._num_sections
+        assert self.sections_in_use == len(held), (
+            f"{self.sections_in_use} section(s) marked in use but "
+            f"{len(held)} LUT holder(s)"
+        )
+        # Deliberately unclamped: a leaked section (release lost in
+        # flight) makes sections_in_use exceed num_sections, which the
+        # clamped sections_free property would hide.
+        raw_free = self._num_sections - self.sections_in_use
+        assert 0 <= raw_free <= self._num_sections, (
+            f"section leak: {self.sections_in_use} in use of "
+            f"{self._num_sections}"
+        )
 
 
 def lut_bits(max_warps: int) -> int:
-    """Storage of the LUT in bits: Nw entries of ceil(log2 Nw) bits."""
-    return max_warps * math.ceil(math.log2(max_warps)) if max_warps > 1 else 1
+    """Storage of the LUT in bits: Nw entries of ceil(log2 Nw) bits.
+
+    With one warp slot the entry needs ceil(log2 1) = 0 bits — there is
+    nothing to index — so the documented formula gives 0, not 1.
+    """
+    if max_warps <= 1:
+        return 0
+    return max_warps * math.ceil(math.log2(max_warps))

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 
 from repro.arch.config import GpuConfig
+from repro.regmutex.srp import lut_bits
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class StorageBudget:
 def regmutex_storage_bits(config: GpuConfig) -> StorageBudget:
     """Default RegMutex: warp-status bitmask + SRP bitmask + LUT."""
     nw = config.max_warps_per_sm
-    lut = nw * math.ceil(math.log2(nw))
+    lut = lut_bits(nw)
     return StorageBudget(
         technique="regmutex",
         parts=(

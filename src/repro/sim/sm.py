@@ -126,6 +126,23 @@ class StreamingMultiprocessor:
         self._resident_warp_count = 0
         self._next_warp_id = 0
         self._next_cta_seq = 0
+        # SM-local warp-slot allocator.  Hardware structures (SRP status
+        # bits, base register blocks, banked-RF lanes) are indexed by a
+        # slot in [0, max_warps_per_sm); ``warp_id % max_warps_per_sm``
+        # aliases once ids wrap past the slot count while earlier warps
+        # are still resident (out-of-order CTA retirement), so slots are
+        # allocated explicitly: the modulo value when free — which keeps
+        # every non-colliding schedule bit-identical — else the lowest
+        # free index.
+        self._occupied_slots: set[int] = set()
+        # Dynamic sanitizer (repro.check): like the observer, None costs
+        # one ``is not None`` branch per cycle/issue.  Local import —
+        # check/ imports sim modules.
+        self._sanitizer = None
+        if config.sanitizer:
+            from repro.check.sanitizer import Sanitizer
+
+            self._sanitizer = Sanitizer(self)
         # Heterogeneous co-scheduling: an optional per-CTA kernel list
         # (see repro.sim.multikernel); homogeneous launches use the
         # single kernel for every CTA.
@@ -157,6 +174,7 @@ class StreamingMultiprocessor:
                 cta_id=self._next_cta_seq,
                 kernel=cta_kernel,
                 rng=self.rng.fork(self._next_warp_id + 1),
+                slot=self._allocate_slot(self._next_warp_id),
             )
             self.scoreboard.register_warp(warp.warp_id)
             warps.append(warp)
@@ -175,6 +193,16 @@ class StreamingMultiprocessor:
         if self._observer is not None:
             self._observer.on_cta_launch(self, cta)
 
+    def _allocate_slot(self, warp_id: int) -> int:
+        preferred = warp_id % self.config.max_warps_per_sm
+        slot = preferred
+        if slot in self._occupied_slots:
+            slot = 0
+            while slot in self._occupied_slots:
+                slot += 1
+        self._occupied_slots.add(slot)
+        return slot
+
     def _retire_cta(self, cta: Cta) -> None:
         self.resident_ctas.remove(cta)
         del self._ctas_by_id[cta.cta_id]
@@ -182,6 +210,7 @@ class StreamingMultiprocessor:
         if self._observer is not None:
             self._observer.on_cta_retire(self, cta)
         for warp in cta.warps:
+            self._occupied_slots.discard(warp.slot)
             self.scoreboard.remove_warp(warp.warp_id)
             # Warps were partitioned by id at launch; the owning
             # scheduler slot is derivable, so only its list is touched.
@@ -227,14 +256,17 @@ class StreamingMultiprocessor:
         cycle = self.cycle
         self.stats.instructions_issued += 1
         self.technique.on_issue(warp, inst, cycle)
+        if self._sanitizer is not None:
+            self._sanitizer.on_issue(warp, inst, cycle)
 
         bank_penalty = 0
         if self.banked_rf is not None and inst.srcs:
             physical = [
                 self.technique.resolve_physical(warp, reg) for reg in inst.srcs
             ]
-            slot = warp.warp_id % self.config.max_warps_per_sm
-            bank_penalty = self.banked_rf.collect(slot, physical).extra_cycles
+            bank_penalty = self.banked_rf.collect(
+                warp.slot, physical
+            ).extra_cycles
 
         if inst.op_class in (OpClass.IALU, OpClass.FALU, OpClass.SFU, OpClass.NOP):
             done = cycle + inst.latency + bank_penalty
@@ -381,6 +413,8 @@ class StreamingMultiprocessor:
                     self.stats.stall_scoreboard += 1
         if self.config.debug_invariants:
             self.technique.check_invariants(cycle)
+        if self._sanitizer is not None:
+            self._sanitizer.on_cycle(self)
         if self._observer is not None:
             self._observer.on_cycle(self)
         return issued

@@ -87,8 +87,7 @@ class SmTechniqueState:
         Figure 6a).  RegMutex overrides this with the base/extended mux.
         """
         coeff = max(1, self.kernel.metadata.regs_per_thread)
-        slot = warp.warp_id % self.config.max_warps_per_sm
-        return arch_reg + coeff * slot
+        return arch_reg + coeff * warp.slot
 
 
 class SharingTechnique:

@@ -31,7 +31,7 @@ class Warp:
         "warp_id", "cta_id", "kernel", "pc", "status", "rng",
         "_trips_remaining", "holds_extended_set", "srp_section",
         "dynamic_instructions", "acquire_block_since",
-        "owns_pair_lock", "stalled_on", "wake_cycle",
+        "owns_pair_lock", "stalled_on", "wake_cycle", "slot",
     )
 
     def __init__(
@@ -40,9 +40,17 @@ class Warp:
         cta_id: int,
         kernel: Kernel,
         rng: DeterministicRng,
+        slot: int | None = None,
     ) -> None:
         self.warp_id = warp_id
         self.cta_id = cta_id
+        # SM-local warp slot: indexes the per-SM hardware structures
+        # (SRP status bit, register-file base block, banked-RF lane).
+        # warp_id is globally unique and monotonic; two warps whose ids
+        # differ by max_warps_per_sm must still get distinct slots, so
+        # the SM allocates slots explicitly.  Defaults to warp_id for
+        # directly constructed warps (tests, single-wave setups).
+        self.slot = warp_id if slot is None else slot
         self.kernel = kernel
         self.pc = 0
         self.status = WarpStatus.READY

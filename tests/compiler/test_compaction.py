@@ -162,3 +162,85 @@ class TestUnsoundRenameDetection:
         kernel = b.build()
         with pytest.raises(CompactionError, match="unsound|free base"):
             compact_register_indices(kernel, 6)
+
+
+def _shadow_digests(kernel):
+    """Execute a straight-line kernel on the shadow executor and return
+    its (streams, memory) digests — the oracle's equivalence signal."""
+    from repro.check.shadow import ShadowState
+    from repro.sim.rand import DeterministicRng
+    from repro.sim.warp import Warp
+
+    shadow = ShadowState()
+    warp = Warp(0, 0, kernel, DeterministicRng(1))
+    for inst in kernel:
+        shadow.observe(warp, inst)
+    return shadow.warp_streams(), shadow.memory_digest()
+
+
+class TestClobberAwareSlotChoice:
+    """Regression for the MRI-Q miscompile the differential oracle
+    caught: a base slot that is free at the release point but redefined
+    before a renamed use must not receive a moved value."""
+
+    def test_clobbered_first_slot_is_skipped(self):
+        b = KernelBuilder(regs_per_thread=6, threads_per_cta=64)
+        b.ldc(0)
+        b.acquire()
+        b.ldc(4)
+        b.release()
+        b.alu(1, 0, 0)   # redefines R1 — the lowest free slot
+        b.alu(3, 4, 1)   # ... before the renamed use of R4
+        b.store(0, 3)
+        b.exit()
+        k = b.build()
+        compacted = compact_register_indices(k, 4)
+        verify_compact(compacted, 4)
+        (mov,) = [
+            i for i in compacted
+            if i.opcode is Opcode.MOV and "compaction" in (i.comment or "")
+        ]
+        assert mov.srcs == (4,)
+        assert mov.dsts[0] == 2  # NOT slot 1, which i+1 clobbers
+        assert _shadow_digests(compacted) == _shadow_digests(k)
+
+    def test_augmenting_path_swap_finds_the_only_valid_pairing(self):
+        """R4 can live in slot 2 or 3; R5 only in slot 2.  First-fit
+        hands 2 to R4 and dies; the matching must swap."""
+        b = KernelBuilder(regs_per_thread=6, threads_per_cta=64)
+        b.ldc(0)
+        b.ldc(1)
+        b.acquire()
+        b.ldc(4)
+        b.ldc(5)
+        b.release()
+        b.alu(0, 4, 0)   # R4's last use precedes every slot redefinition
+        b.alu(3, 0, 1)   # redefines slot 3
+        b.alu(1, 5, 3)   # R5 used after — slot 3 is unsafe for R5
+        b.store(0, 1)
+        b.exit()
+        k = b.build()
+        compacted = compact_register_indices(k, 4)
+        verify_compact(compacted, 4)
+        pairing = {
+            i.srcs[0]: i.dsts[0]
+            for i in compacted
+            if i.opcode is Opcode.MOV and "compaction" in (i.comment or "")
+        }
+        assert pairing == {4: 3, 5: 2}
+        assert _shadow_digests(compacted) == _shadow_digests(k)
+
+    def test_no_safe_slot_raises_instead_of_miscompiling(self):
+        b = KernelBuilder(regs_per_thread=6, threads_per_cta=64)
+        b.ldc(0)
+        b.ldc(1)
+        b.ldc(2)
+        b.acquire()
+        b.ldc(4)
+        b.release()
+        b.alu(3, 0, 1)   # the only free slot, redefined ...
+        b.alu(0, 4, 3)   # ... before R4's renamed use
+        b.store(0, 2)
+        b.exit()
+        with pytest.raises(CompactionError, match="no conflict-free"):
+            compact_register_indices(b.build(), 4)

@@ -116,3 +116,38 @@ class TestCompiledKernelsAreSafe:
         )
         if compiled.metadata.uses_regmutex:
             assert_regmutex_safe(compiled, compiled.metadata.base_set_size)
+
+
+class TestUnreachableCode:
+    def test_unreachable_extended_access_warns_not_fails(self):
+        """Dead code touching the extended set cannot corrupt runtime
+        state, so it is a warning rather than a violation — but it must
+        not pass silently, since the hold-state contract was never
+        evaluated there."""
+        b = KernelBuilder(regs_per_thread=8, threads_per_cta=64)
+        for r in range(4):
+            b.ldc(r)
+        b.acquire()
+        b.alu(4, 0, 1)
+        b.release()
+        b.store(0, 0)
+        b.jump("end")
+        b.alu(5, 0, 1)  # unreachable: touches extended R5
+        b.label("end")
+        b.exit()
+        result = verify_regmutex_safety(b.build(), base_set_size=4)
+        assert result.ok
+        assert any(
+            "unreachable" in w and "R5" in w for w in result.warnings
+        )
+
+    def test_unreachable_base_access_stays_silent(self):
+        b = KernelBuilder(regs_per_thread=8, threads_per_cta=64)
+        b.ldc(0)
+        b.jump("end")
+        b.alu(1, 0, 0)  # unreachable but base-set only: fine
+        b.label("end")
+        b.exit()
+        result = verify_regmutex_safety(b.build(), base_set_size=4)
+        assert result.ok
+        assert not result.warnings

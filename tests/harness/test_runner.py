@@ -169,3 +169,14 @@ class TestCacheFormatContract:
         runner = ExperimentRunner(target_ctas_per_sm=4, cache_path=str(path))
         record = runner.run(straightline_kernel(), cfg, BaselineTechnique())
         assert record.cycles > 0
+
+
+class TestCacheKeyVersion:
+    def test_version_pinned(self):
+        """The oracle in repro.check proves checker/observer additions
+        timing-neutral; the key only moves when semantics do.  A failure
+        here means someone bumped it — make sure that was deliberate
+        (it invalidates every cached run everywhere)."""
+        from repro.harness.runner import CACHE_KEY_VERSION
+
+        assert CACHE_KEY_VERSION == "v6"

@@ -142,3 +142,30 @@ class TestTechnique:
         assert tech.num_sections(compiled, GTX480) == srp_section_count(
             GTX480, occ.resident_warps, spec.expected_bs, spec.expected_es
         )
+
+
+class TestStaleWakeup:
+    def test_pending_wakeup_of_finished_warp_hands_on(self):
+        """Regression: if a warp finished after release() earmarked a
+        wakeup for it but before the wakeup landed, the wakeup — and with
+        it the freed section — evaporated, leaving the next waiter parked
+        forever."""
+        state, _ = _state(sections=1)
+        w0, w1, w2 = _warp(0), _warp(1), _warp(2)
+        state.try_acquire(w0, 0)
+        state.try_acquire(w1, 1)  # parks w1
+        state.try_acquire(w2, 2)  # parks w2
+        state.release(w0, 10)     # wakeup earmarked for w1
+        state.on_warp_finish(w1, 11)  # ... but w1 dies first
+        assert state.wakeup_pending() == [w2]
+        w2.status = WarpStatus.READY
+        assert state.try_acquire(w2, 12)  # the section was not lost
+
+    def test_stale_wakeup_with_empty_queue_just_drops(self):
+        state, _ = _state(sections=1)
+        w0, w1 = _warp(0), _warp(1)
+        state.try_acquire(w0, 0)
+        state.try_acquire(w1, 1)
+        state.release(w0, 10)
+        state.on_warp_finish(w1, 11)  # no further waiters to hand to
+        assert list(state.wakeup_pending()) == []

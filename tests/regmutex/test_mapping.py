@@ -107,3 +107,22 @@ class TestRegMutexMapper:
                     f"({w},R{x}) and {seen[phys]} share physical {phys}"
                 )
                 seen[phys] = (w, x)
+
+
+class TestResolveBounds:
+    def test_warp_index_below_range_rejected(self):
+        _, m = _mapper(warps=48)
+        with pytest.raises(ValueError, match="warp index -1"):
+            m.resolve(-1, 0)
+
+    def test_warp_index_above_range_rejected(self):
+        """Regression: a warp index past the resident set used to wrap
+        silently into arithmetic that lands inside another warp's base
+        block instead of failing loudly."""
+        _, m = _mapper(warps=48)
+        with pytest.raises(ValueError, match="warp index 48"):
+            m.resolve(48, 0)
+
+    def test_last_resident_warp_still_resolves(self):
+        _, m = _mapper(bs=18, warps=48)
+        assert m.resolve(47, 0).physical_index == 47 * 18

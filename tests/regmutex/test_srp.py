@@ -150,3 +150,56 @@ class TestStorageGeometry:
     def test_lut_bits_matches_paper(self):
         """48 warps x ceil(log2 48) = 48 x 6 = 288 bits (§III-B1)."""
         assert lut_bits(48) == 288
+
+
+class TestDegenerateGeometry:
+    def test_lut_bits_single_slot_is_zero(self):
+        """ceil(log2 1) = 0: one slot needs no index bits at all.  The
+        old formula returned 1 x 1 = 1 phantom bit."""
+        assert lut_bits(1) == 0
+
+    def test_lut_bits_two_slots(self):
+        assert lut_bits(2) == 2
+
+    def test_lut_bits_still_rounds_up(self):
+        assert lut_bits(3) == 3 * 2
+
+
+class TestSectionsFreeClamp:
+    def test_leaked_section_exhausts_pool_with_zero_free(self):
+        """A lost release (warp-side state cleared, section bit stuck)
+        leaks the section: the pool exhausts early, ``sections_free``
+        bottoms out at 0 — never negative — and the structures' mutual
+        inconsistency still trips check_invariants."""
+        srp = SharedRegisterPool(4, 2)
+        assert srp.acquire(0) is not None
+        srp.corrupt_for_fault_injection(clear_slots=(0,))
+        assert srp.acquire(1) is not None
+        assert srp.acquire(2) is None  # section 0 is gone for good
+        assert srp.sections_free == 0
+        with pytest.raises(AssertionError, match="in use"):
+            srp.check_invariants()
+
+    def test_free_clamped_under_arbitrary_bit_soup(self):
+        """The occupancy-facing count stays in [0, num_sections] no
+        matter how the bitmask is corrupted."""
+        for bits in ((0,), (0, 1), (0, 1, 2, 3)):
+            srp = SharedRegisterPool(4, 2)
+            srp.corrupt_for_fault_injection(set_section_bits=bits)
+            assert 0 <= srp.sections_free <= srp.num_sections
+
+    def test_cleared_placement_bit_trips_invariants(self):
+        """Flipping a kernel-placement (pre-set) bit clear makes the raw
+        free count exceed capacity; the clamped property must not hide
+        that from check_invariants."""
+        srp = SharedRegisterPool(4, 1)
+        srp.corrupt_for_fault_injection(clear_section_bits=(2,))
+        with pytest.raises(AssertionError, match="-1 section"):
+            srp.check_invariants()
+
+    def test_healthy_pool_unaffected(self):
+        srp = SharedRegisterPool(4, 2)
+        assert srp.sections_free == 2
+        srp.acquire(0)
+        assert srp.sections_free == 1
+        srp.check_invariants()

@@ -194,3 +194,57 @@ class TestIssueWidth:
         a, _ = _run(kernel, tiny_config, ctas_resident=2, total_ctas=4)
         b, _ = _run(kernel, tiny_config, ctas_resident=2, total_ctas=4)
         assert a.cycles == b.cycles
+
+
+class TestWarpSlotAllocation:
+    """Regression for SM-local warp slots (banked RF / SRP-LUT index).
+
+    Using ``warp_id % max_warps_per_sm`` directly aliased two resident
+    warps onto one slot once CTA rotation pushed warp ids past the slot
+    count.  Slots are now allocated (identity-preferred, lowest-free on
+    collision) and recycled at CTA retirement.
+    """
+
+    def _sm(self, config, ctas_resident=1, total_ctas=1):
+        kernel = straightline_kernel()
+        stats = SmStats()
+        sm = StreamingMultiprocessor(
+            sm_id=0, config=config, kernel=kernel,
+            technique_state=SmTechniqueState(kernel, config, stats),
+            ctas_resident_limit=ctas_resident, total_ctas=total_ctas,
+            rng=DeterministicRng(1), stats=stats,
+        )
+        return sm
+
+    def test_fresh_sm_assigns_identity_slots(self, tiny_config):
+        sm = self._sm(tiny_config, ctas_resident=2, total_ctas=2)
+        warps = [w for cta in sm.resident_ctas for w in cta.warps]
+        assert [w.slot for w in warps] == [w.warp_id for w in warps]
+
+    def test_collision_falls_back_to_lowest_free(self, tiny_config):
+        sm = self._sm(tiny_config, ctas_resident=1, total_ctas=1)
+        assert sm._occupied_slots == {0, 1}  # one 64-thread CTA resident
+        # warp_id 8 prefers slot 8 % 8 = 0 (taken) -> lowest free is 2.
+        assert sm._allocate_slot(8) == 2
+        assert 2 in sm._occupied_slots
+
+    def test_cta_rotation_keeps_slots_distinct_and_bounded(self, tiny_config):
+        """Drive warp ids well past the slot count and check, every
+        cycle, that live slots are distinct, in range, and mirrored by
+        the accounting set."""
+        sm = self._sm(tiny_config, ctas_resident=4, total_ctas=12)
+        saw_high_warp_id = False
+        while not sm.done:
+            sm.step()
+            warps = [w for cta in sm.resident_ctas for w in cta.warps]
+            slots = [w.slot for w in warps]
+            assert len(set(slots)) == len(slots), f"slot aliasing: {slots}"
+            assert all(
+                0 <= s < tiny_config.max_warps_per_sm for s in slots
+            )
+            assert set(slots) == sm._occupied_slots
+            saw_high_warp_id |= any(
+                w.warp_id >= tiny_config.max_warps_per_sm for w in warps
+            )
+        assert saw_high_warp_id  # the scenario actually exercised the bug
+        assert sm._occupied_slots == set()
