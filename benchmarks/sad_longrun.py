@@ -1,0 +1,65 @@
+"""SAD long-run microbenchmark: the issue-path throughput yardstick.
+
+Runs the SAD app (the suite's longest-running kernel) on a single
+GTX480 SM under RegMutex, seed 2018, 8 total CTAs — enough cycles
+(~310k) that steady-state issue-path cost dominates and per-run noise
+sits under a percent.  Reports wall time and cycles/sec, best of
+``--repeat`` runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sad_longrun.py [--engine event|scan]
+                                                    [--repeat 3]
+
+PR 3 measured the scan stepper at 8.883s on its machine; absolute
+seconds are machine-dependent, so compare engines on the *same*
+machine (PROFILING.md records one such pair).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import replace
+
+from repro.arch.config import GTX480
+from repro.regmutex.issue_logic import RegMutexTechnique
+from repro.sim.gpu import Gpu
+from repro.workloads.suite import build_app_kernel, get_app
+
+TOTAL_CTAS = 8
+SEED = 2018
+
+
+def run_once(engine: str) -> tuple[int, float]:
+    config = replace(GTX480, num_sms=1, issue_engine=engine)
+    technique = RegMutexTechnique()
+    gpu = Gpu(config, technique, seed=SEED)
+    kernel = build_app_kernel(get_app("SAD"))
+    start = time.perf_counter()
+    result = gpu.launch(kernel, TOTAL_CTAS)
+    elapsed = time.perf_counter() - start
+    return result.cycles, elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine", choices=("event", "scan"), default="event")
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args()
+
+    best: float | None = None
+    cycles = 0
+    for i in range(args.repeat):
+        cycles, elapsed = run_once(args.engine)
+        print(f"run {i + 1}: {cycles} cycles in {elapsed:.3f}s "
+              f"({cycles / elapsed:,.0f} cycles/sec)")
+        if best is None or elapsed < best:
+            best = elapsed
+    assert best is not None
+    print(f"best [{args.engine}]: {cycles} cycles in {best:.3f}s "
+          f"({cycles / best:,.0f} cycles/sec)")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,13 @@ class GpuConfig:
     # wait-queue hygiene — into one per-issue/per-cycle checker emitting
     # typed SanitizerViolation reports with warp/pc/cycle provenance.
     sanitizer: bool = False
+    # Issue-path implementation: "event" (the default) drives each
+    # scheduler from wake-ordered ready queues + sleeper heaps; "scan"
+    # selects the naive all-warp reference stepper.  The two are
+    # bit-identical (cycles, SmStats, oracle digests) — this knob
+    # exists for the differential identity tests and for auditing, and
+    # is excluded from experiment cache keys for that reason.
+    issue_engine: str = "event"
     # Cadence of the sanitizer's per-cycle *structural* checks (SRP
     # consistency, wait-queue hygiene, slot accounting): 1 = every cycle
     # (the default; what the fault campaign relies on for tight
@@ -82,6 +89,8 @@ class GpuConfig:
             raise ValueError("watchdog_window must be >= 0 (0 disables)")
         if self.sanitizer_stride <= 0:
             raise ValueError("sanitizer_stride must be positive")
+        if self.issue_engine not in ("event", "scan"):
+            raise ValueError(f"unknown issue engine {self.issue_engine!r}")
 
     @property
     def registers_per_sm_per_thread_slot(self) -> int:

@@ -125,6 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-artifact", action="store_true",
         help="skip writing the BENCH_<label>.json perf artifact",
     )
+    bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="perf artifact to compare cycles/sec against; prints a "
+             "::warning:: line (never fails) beyond a 15%% regression",
+    )
     for name in _EXPERIMENTS:
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument(
@@ -364,6 +369,27 @@ def _cmd_bench(args, runner: ExperimentRunner) -> int:
             args.label, orch.telemetry, directory=args.artifact_dir
         )
         print(f"\n(perf artifact written to {path})")
+    if args.baseline:
+        from repro.observe.perf import (
+            compare_perf_artifacts,
+            load_perf_artifact,
+            perf_artifact,
+        )
+
+        current = perf_artifact(args.label, orch.telemetry)
+        baseline = load_perf_artifact(args.baseline)
+        warnings = compare_perf_artifacts(current, baseline)
+        for line in warnings:
+            # GitHub Actions annotation syntax; advisory, never a failure
+            # (absolute throughput is machine-dependent).
+            print(f"::warning::{line}")
+        if not warnings:
+            cur = current["totals"]["cycles_per_sec"]
+            base = baseline["totals"]["cycles_per_sec"]
+            print(
+                f"(throughput ok vs baseline {baseline['label']!r}: "
+                f"{cur:,.0f} vs {base:,.0f} cycles/sec)"
+            )
     return 0
 
 

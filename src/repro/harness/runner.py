@@ -95,15 +95,27 @@ def _record_checksum(fields: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+# Config fields that cannot affect simulated timing: they select
+# between bit-identical implementations (the wake-queue property tests
+# and the repro.check oracle enforce that identity).  Excluded from
+# fingerprints so flipping them does not orphan cached records — and so
+# adding them did not invalidate every pre-existing key.
+_TIMING_NEUTRAL_CONFIG_FIELDS = frozenset({"issue_engine"})
+
+
 def _config_fingerprint(config: GpuConfig) -> str:
     """Field-sorted serialization of a config for cache keys.
 
     ``repr(config)`` depends on field declaration order and on the
     dataclass repr implementation; sorting the asdict items makes the
     key stable across field reordering and unaffected by cosmetic repr
-    changes, while still covering every field's value.
+    changes, while still covering every timing-relevant field's value.
     """
-    items = sorted(dataclasses.asdict(config).items())
+    items = sorted(
+        (k, v)
+        for k, v in dataclasses.asdict(config).items()
+        if k not in _TIMING_NEUTRAL_CONFIG_FIELDS
+    )
     return ";".join(f"{k}={v!r}" for k, v in items)
 
 

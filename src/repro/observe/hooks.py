@@ -137,7 +137,14 @@ class SmObserver:
 
     # -- attachment -------------------------------------------------------------
     def attach(self, sm) -> "SmObserver":
-        """Install this observer on an SM (idempotent per SM)."""
+        """Install this observer on an SM (idempotent per SM).
+
+        Replacing ``sm.technique`` with the observing wrapper is safe
+        under both issue engines: the event-driven stepper reads
+        ``self.technique`` afresh each cycle (it holds no reference to
+        the inner state), and the wrapper forwards ``wakeup_pending``
+        verbatim, so acquire re-arms still reach the wake queues.
+        """
         if sm._observer is not None:
             raise ValueError(f"SM {sm.sm_id} already has an observer")
         self.sm = sm

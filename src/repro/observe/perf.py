@@ -115,3 +115,33 @@ def load_perf_artifact(path: str) -> dict:
         if key not in data:
             raise ValueError(f"{path}: missing key {key!r}")
     return data
+
+
+def compare_perf_artifacts(
+    current: dict, baseline: dict, warn_threshold: float = 0.15
+) -> list[str]:
+    """Compare headline simulation throughput against a baseline artifact.
+
+    Returns a list of warning strings — empty when the current run's
+    ``totals.cycles_per_sec`` is within ``warn_threshold`` of the
+    baseline's (or faster).  Advisory only: throughput depends on the
+    executing machine, so callers warn and move on rather than fail —
+    a committed seed artifact catches *order-of-magnitude* issue-path
+    regressions, not percent-level noise.
+    """
+    cur = current.get("totals", {}).get("cycles_per_sec")
+    base = baseline.get("totals", {}).get("cycles_per_sec")
+    if cur is None or base is None or base <= 0:
+        return [
+            "perf comparison inconclusive: cycles_per_sec missing "
+            f"(current={cur!r}, baseline={base!r}) — all jobs cached?"
+        ]
+    ratio = cur / base
+    if ratio < 1.0 - warn_threshold:
+        return [
+            f"simulation throughput regressed {1.0 - ratio:.0%} vs "
+            f"baseline {baseline.get('label', '?')!r}: "
+            f"{cur:,.0f} cycles/sec vs {base:,.0f} "
+            f"(warn threshold {warn_threshold:.0%})"
+        ]
+    return []

@@ -76,7 +76,22 @@ class MemoryModel:
         return done
 
     def earliest_completion(self, cycle: int) -> int | None:
-        """Soonest in-flight load completion after ``cycle`` (None if idle)."""
+        """Soonest in-flight load completion after ``cycle`` (None if idle).
+
+        ``_next_retire`` already holds the answer on the hot path (the
+        SM retires due loads at cycle start, so the cached minimum is
+        strictly in the future by the time anyone asks); only a caller
+        that skipped ``retire`` can observe a stale ``<= cycle`` value,
+        which falls back to the scan.
+        """
+        nxt = self._next_retire
+        if nxt is None or nxt > cycle:
+            return nxt
+        return self._earliest_completion_scan(cycle)
+
+    def _earliest_completion_scan(self, cycle: int) -> int | None:
+        """Reference implementation (full scan of the in-flight multiset),
+        kept for the identity-pinning test and the stale-cache fallback."""
         future = [c for c in self._in_flight if c > cycle]
         return min(future) if future else None
 

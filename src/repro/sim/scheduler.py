@@ -64,12 +64,14 @@ class GtoScheduler(WarpScheduler):
     ) -> None:
         super().__init__(scheduler_id)
         self._greedy: Optional[Warp] = None
-        # With no hook every warp ties at priority 0; the genexp + list
-        # comp below then only rediscover ``top == candidates``, so the
-        # common case (no OWF-style hook installed) skips both — this is
-        # on the per-cycle issue path.
+        # With no hook every warp ties at priority 0; the single-pass
+        # partition below would only rediscover ``top == candidates``,
+        # so the common case (no OWF-style hook installed) skips it —
+        # this is on the per-cycle issue path.
         self._default_priority = priority is None
         self._priority = priority or (lambda w: 0)
+        # Persistent top-tier scratch: no per-pick list allocation.
+        self._top: list[Warp] = []
 
     def pick(self, candidates: Sequence[Warp]) -> Optional[Warp]:
         if not candidates:
@@ -79,8 +81,20 @@ class GtoScheduler(WarpScheduler):
             if greedy is not None and greedy in candidates:
                 return greedy
             return min(candidates, key=_by_warp_id)
-        best_priority = min(self._priority(w) for w in candidates)
-        top = [w for w in candidates if self._priority(w) == best_priority]
+        # Single pass: the hook runs exactly once per candidate (OWF's
+        # hook is pure but hooks are user-supplied — don't assume).
+        priority = self._priority
+        top = self._top
+        top.clear()
+        best_priority: int | None = None
+        for w in candidates:
+            p = priority(w)
+            if best_priority is None or p < best_priority:
+                best_priority = p
+                top.clear()
+                top.append(w)
+            elif p == best_priority:
+                top.append(w)
         if self._greedy is not None and self._greedy in top:
             return self._greedy
         # Oldest = smallest warp id (ids are assigned in launch order).
@@ -105,11 +119,15 @@ class LrrScheduler(WarpScheduler):
     def pick(self, candidates: Sequence[Warp]) -> Optional[Warp]:
         if not candidates:
             return None
-        ordered = sorted(candidates, key=_by_warp_id)
-        for warp in ordered:
-            if warp.warp_id > self._last_id:
+        # Candidates arrive id-ascending by construction: the SM builds
+        # them in launch order and re-inserts requalified warps in id
+        # position (both steppers), so the old per-pick sort only
+        # reproduced the order it was given.
+        last = self._last_id
+        for warp in candidates:
+            if warp.warp_id > last:
                 return warp
-        return ordered[0]
+        return candidates[0]
 
     def notify_issued(self, warp: Warp) -> None:
         self.issued_count += 1

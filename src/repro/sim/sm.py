@@ -28,6 +28,8 @@ interactions RegMutex lives on without modelling bank conflicts.
 
 from __future__ import annotations
 
+from bisect import insort
+
 from repro.arch.config import GpuConfig
 from repro.errors import (
     CycleLimitExceededError,
@@ -44,6 +46,7 @@ from repro.sim.scheduler import WarpScheduler, make_scheduler
 from repro.sim.scoreboard import Scoreboard
 from repro.sim.stats import SmStats
 from repro.sim.technique import SmTechniqueState
+from repro.sim.wakequeue import IssueEngine, _by_warp_id
 from repro.sim.warp import Warp, WarpStatus
 
 # Scoreboard-expiry cadence: purging every cycle is wasted work; the
@@ -123,6 +126,14 @@ class StreamingMultiprocessor:
             (sched, warps, [])
             for sched, warps in zip(self.schedulers, self._warps_by_scheduler)
         ]
+        # Event-driven issue engine (``config.issue_engine == "event"``):
+        # per-scheduler ready/sleeper/blocked structures replacing the
+        # all-warp scan — see repro.sim.wakequeue.  None selects the
+        # retained scan stepper (the bit-identity reference).  Must
+        # exist before ``_fill_ctas`` so the launch hook can feed it.
+        self._engine: IssueEngine | None = None
+        if config.issue_engine == "event":
+            self._engine = IssueEngine(self.schedulers)
         self._resident_warp_count = 0
         self._next_warp_id = 0
         self._next_cta_seq = 0
@@ -182,6 +193,9 @@ class StreamingMultiprocessor:
                 self._next_warp_id % self.config.num_schedulers
             ].append(warp)
             self._next_warp_id += 1
+        if self._engine is not None:
+            for warp in warps:
+                self._engine.add_warp(warp)
         cta = Cta(self._next_cta_seq, warps)
         self.resident_ctas.append(cta)
         self._ctas_by_id[cta.cta_id] = cta
@@ -290,6 +304,8 @@ class StreamingMultiprocessor:
         if inst.op_class is OpClass.BRANCH:
             if inst.is_exit:
                 warp.finish()
+                if self._engine is not None:
+                    self._engine.on_finish(warp)
                 self.technique.on_warp_finish(warp, cycle)
                 cta = self._ctas_by_id[warp.cta_id]
                 if cta.finished:
@@ -302,7 +318,9 @@ class StreamingMultiprocessor:
         if inst.op_class is OpClass.BARRIER:
             cta = self._ctas_by_id[warp.cta_id]
             warp.advance(warp.pc + 1)  # resume past the barrier when released
-            cta.arrive_at_barrier(warp)
+            released = cta.arrive_at_barrier(warp)
+            if released and self._engine is not None:
+                self._engine.on_barrier_release(cta)
             return
 
         if inst.op_class is OpClass.REGMUTEX:
@@ -325,7 +343,147 @@ class StreamingMultiprocessor:
         raise AssertionError(f"unhandled op class {inst.op_class}")
 
     def step(self) -> int:
-        """Advance one cycle; returns the number of instructions issued."""
+        """Advance one cycle; returns the number of instructions issued.
+
+        Dispatches to the event-driven stepper (the default) or the
+        naive all-warp-scan reference stepper (``issue_engine="scan"``).
+        The two are bit-identical — same cycle counts, same ``SmStats``
+        down to each stall counter, same oracle digests — which the
+        wake-queue property tests and the ``repro check`` oracle enforce.
+        """
+        if self._engine is not None:
+            return self._step_event()
+        return self._step_scan()
+
+    def _step_event(self) -> int:
+        """Event-driven issue path: cost per cycle is proportional to
+        warps that can actually act, not to residents.
+
+        Per scheduler: pop due sleepers into the sorted ready list,
+        qualify exactly the ready warps (same ascending-warp-id order as
+        the scan, so technique ``can_issue`` side effects replay
+        identically), issue from the candidate list, then re-home warps
+        the issue phase moved.  Stall attribution recomputes the scan's
+        per-warp flags from aggregate counts (see
+        ``SchedulerWakeQueue.sleeper_flags``), and only when the
+        scheduler actually idled — the common issuing cycle skips it.
+        """
+        self.cycle += 1
+        issued = 0
+        cycle = self.cycle
+        self.memory.retire(cycle)
+        if cycle % _EXPIRE_PERIOD == 0:
+            self.scoreboard.expire(cycle)
+
+        engine = self._engine
+        pending = self.technique.wakeup_pending()
+        if pending:
+            for warp in pending:
+                if warp.status is WarpStatus.WAITING_ACQUIRE:
+                    warp.status = WarpStatus.READY
+                    engine.on_acquire_wake(warp)
+
+        self.stats.resident_warp_cycles += self._resident_warp_count
+
+        issue_width = self.config.issue_width_per_scheduler
+        for unit in engine.units:
+            unit.wake_due(cycle)
+            # Blocked counts are captured before qualification: a warp
+            # that parks *during* this pass (OWF's can_issue, a failed
+            # ACQUIRE) contributes its park flag only from the next
+            # cycle, exactly like the scan (which classifies by the
+            # status it saw at scan time).
+            barrier_count = unit.barrier_count
+            acquire_count = unit.acquire_count
+            ready = unit.ready
+            candidates = unit.candidates
+            keep = unit.keep
+            candidates.clear()
+            keep.clear()
+            qual_mem = qual_sb = False
+            for warp in ready:
+                if self._issuable(warp, warp.current_instruction()):
+                    candidates.append(warp)
+                    keep.append(warp)
+                    continue
+                # The scan's else-branch flags, verbatim — including for
+                # warps about to be detached below (they still fail
+                # qualification *this* cycle in the scan).
+                if warp.stalled_on == "memory":
+                    qual_mem = True
+                elif self.scoreboard.has_pending_memory(
+                    warp.warp_id, cycle, horizon=20
+                ):
+                    qual_mem = True
+                else:
+                    qual_sb = True
+                if warp.status is not WarpStatus.READY:
+                    # OWF's can_issue parked the warp mid-qualification.
+                    unit.park_acquire(warp)
+                elif warp.wake_cycle > cycle:
+                    unit.push_sleeper(warp, cycle)
+                else:
+                    # No self-timer (technique gate, saturated memory
+                    # window with nothing in flight): requalify every
+                    # cycle, like the scan.
+                    keep.append(warp)
+            ready[:] = keep
+
+            issued_here = 0
+            if candidates:
+                sched = unit.sched
+                issued_list = unit.issued
+                for _ in range(issue_width):
+                    chosen = sched.pick(candidates)
+                    if chosen is None:
+                        break
+                    inst = chosen.current_instruction()
+                    before = chosen.dynamic_instructions
+                    self._execute(chosen, inst)
+                    if chosen.dynamic_instructions != before:
+                        self._last_progress_cycle = cycle
+                    sched.notify_issued(chosen)
+                    issued += 1
+                    issued_here += 1
+                    issued_list.append(chosen)
+                    candidates.remove(chosen)
+                    if (
+                        not chosen.finished
+                        and chosen.status is WarpStatus.READY
+                        and chosen.wake_cycle <= cycle
+                        and self._issuable(chosen, chosen.current_instruction())
+                    ):
+                        insort(candidates, chosen, key=_by_warp_id)
+                for warp in issued_list:
+                    unit.dispose_issued(warp, cycle)
+                issued_list.clear()
+            if issued_here == 0:
+                self.stats.idle_scheduler_cycles += 1
+                if acquire_count:
+                    self.stats.stall_acquire += 1
+                else:
+                    mem_sleep, sb_sleep = unit.sleeper_flags(cycle)
+                    if qual_mem or mem_sleep:
+                        self.stats.stall_memory += 1
+                    elif barrier_count:
+                        self.stats.stall_barrier += 1
+                    elif qual_sb or sb_sleep:
+                        self.stats.stall_scoreboard += 1
+        if self.config.debug_invariants:
+            self.technique.check_invariants(cycle)
+        if self._sanitizer is not None:
+            self._sanitizer.on_cycle(self)
+        if self._observer is not None:
+            self._observer.on_cycle(self)
+        return issued
+
+    def _step_scan(self) -> int:
+        """Naive reference stepper: scan every resident warp, every cycle.
+
+        Retained as the bit-identity oracle for the event engine (and
+        selectable via ``issue_engine="scan"``): simple enough to audit
+        by eye, slow enough to never be the default.
+        """
         self.cycle += 1
         issued = 0
         cycle = self.cycle
@@ -392,7 +550,8 @@ class StreamingMultiprocessor:
                 # The issued warp may have changed state (stalled on its
                 # own result, parked, finished); re-qualify it for the
                 # remaining slots of this cycle instead of re-scanning
-                # every warp.
+                # every warp.  Re-inserted in id position — candidates
+                # stay sorted, which the sort-free LRR pick relies on.
                 candidates.remove(chosen)
                 if (
                     not chosen.finished
@@ -400,7 +559,7 @@ class StreamingMultiprocessor:
                     and chosen.wake_cycle <= cycle
                     and self._issuable(chosen, chosen.current_instruction())
                 ):
-                    candidates.append(chosen)
+                    insort(candidates, chosen, key=_by_warp_id)
             if issued_here == 0:
                 self.stats.idle_scheduler_cycles += 1
                 if saw_acquire:
@@ -462,6 +621,13 @@ class StreamingMultiprocessor:
         A warp parked at a barrier or acquire only wakes through another
         warp's progress, which itself requires one of those two timers —
         so no-timer-and-not-done means deadlock, and we raise.
+
+        The three target sources are all O(log n) reads in event mode:
+        the scoreboard's completion heap, the memory model's cached next
+        retirement, and the per-scheduler sleeper-heap minima (every
+        READY warp with a future wake cycle is in a sleeper heap by
+        construction).  Scan mode iterates all warps instead, and both
+        provably agree on ``min(targets)``.
         """
         targets = []
         sb = self.scoreboard.earliest_ready(self.cycle)
@@ -472,10 +638,15 @@ class StreamingMultiprocessor:
             targets.append(mem)
         # Eager acquire-retry backoffs are self-imposed timers: a READY
         # warp with a future wake_cycle will poll again at that cycle.
-        for warps in self._warps_by_scheduler:
-            for w in warps:
-                if w.status is WarpStatus.READY and w.wake_cycle > self.cycle:
-                    targets.append(w.wake_cycle)
+        if self._engine is not None:
+            wake = self._engine.earliest_wake()
+            if wake is not None:
+                targets.append(wake)
+        else:
+            for warps in self._warps_by_scheduler:
+                for w in warps:
+                    if w.status is WarpStatus.READY and w.wake_cycle > self.cycle:
+                        targets.append(w.wake_cycle)
         if not targets:
             diagnostic = self.diagnostic()
             raise SimulationDeadlockError(

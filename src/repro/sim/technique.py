@@ -57,6 +57,15 @@ class SmTechniqueState:
         Returns the empty tuple when nothing is pending — the SM calls
         this every cycle, and techniques without wakeups (baseline, OWF,
         RFV) must not allocate a fresh list per cycle for nothing.
+
+        This drain is the *only* event that re-arms an acquire-parked
+        warp under the event-driven issue engine: a warp this method
+        returns is moved from its scheduler's blocked set back into the
+        ready list (``IssueEngine.on_acquire_wake``).  A technique that
+        unparks a warp any other way — mutating ``warp.status`` without
+        reporting it here — would strand the warp under the event
+        engine while the scan stepper silently picked it up; the
+        engine-identity property tests exist to catch exactly that.
         """
         return ()
 

@@ -1,0 +1,305 @@
+"""Wake-ordered ready queues: the event-driven issue engine's state.
+
+The per-cycle all-warp scan in the original stepper visits every
+resident warp of every scheduler — up to 48 per SM — even though on a
+typical cycle most of them sit inside a known stall window
+(``wake_cycle > cycle``) and contribute nothing but a status check.
+This module holds the replacement bookkeeping: each scheduler keeps
+
+* a **ready list** — warps eligible for qualification *now*, kept
+  sorted by warp id so qualification walks them in exactly the order
+  the scan-based stepper would (launch order; technique ``can_issue``
+  hooks have side effects, so order is part of the semantics),
+* a **sleeper min-heap** keyed ``(wake_cycle, warp_id)`` — warps inside
+  a self-timed stall window (scoreboard hazard, saturated memory
+  window, eager acquire backoff); due sleepers are popped into the
+  ready list at the start of the owning scheduler's pass,
+* explicit **blocked counts** for warps with no self-timer (parked at a
+  barrier or on a failed acquire), re-armed by the events that can
+  unblock them: barrier release (:meth:`IssueEngine.on_barrier_release`)
+  and the technique's ``wakeup_pending`` drain
+  (:meth:`SchedulerWakeQueue.unblock_acquire`).
+
+Per cycle the engine's cost is proportional to warps that can actually
+act, not to residents.
+
+Bit-identity with the scan stepper
+----------------------------------
+
+The stall-attribution counters in :class:`~repro.sim.stats.SmStats`
+must match the scan stepper bit for bit, and the scan classifies a
+*sleeping* warp per cycle as::
+
+    memory     if stalled_on == "memory" or wake_cycle - cycle > HORIZON
+    scoreboard otherwise
+
+The first disjunct is frozen at sleep time (a sleeping warp is never
+re-qualified, so ``stalled_on`` cannot change), but the second is
+*time-varying*: a non-memory sleeper counts as a memory stall while its
+wake cycle is more than ``HORIZON`` cycles out, then flips to a
+scoreboard stall for the final ``HORIZON`` cycles of its window.  The
+queue tracks this without scanning:
+
+* ``_mem_sleepers`` — count of sleepers frozen as memory stalls,
+* ``_nonmem_sleepers`` — count of the rest,
+* ``_far`` — a min-heap of ``wake_cycle - HORIZON`` thresholds, one per
+  non-memory sleeper whose window was longer than ``HORIZON`` at sleep
+  time.  An entry is stale once its threshold has passed; pruning at
+  read time keeps ``len(_far)`` equal to the number of non-memory
+  sleepers still classified as memory stalls.  Entries are plain ints
+  (no warp identity needed — a woken warp's entry has necessarily
+  expired, because ``wake - HORIZON < wake <= cycle``).
+
+A sleeping warp can never leave its window early: its status only
+changes by issuing or being qualified, both of which require it to be
+due, and a CTA only retires when every warp has finished.  So heap
+entries are exact — no lazy deletion or staleness checks are needed on
+the sleeper heap itself.
+
+Every warp carries a ``qstate`` marker (which structure currently owns
+it) so the unblock hooks are idempotent and cheap to guard.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop, heappush
+
+from repro.sim.warp import Warp, WarpStatus
+
+# Stall-attribution horizon (cycles): a pending completion further out
+# than this is attributed to memory, nearer to the scoreboard.  Shared
+# with the scan stepper's classification and with
+# ``Scoreboard.has_pending_memory`` — attribution only, never
+# correctness.
+MEMORY_STALL_HORIZON = 20
+
+# Warp.qstate values: which engine structure currently owns the warp.
+QS_OUT = 0        # not resident / finished (scan mode leaves warps here)
+QS_READY = 1      # in its scheduler's ready list
+QS_SLEEPING = 2   # in the sleeper heap
+QS_BARRIER = 3    # parked at a barrier (blocked set)
+QS_ACQUIRE = 4    # parked on a failed acquire (blocked set)
+
+
+def _by_warp_id(warp: Warp) -> int:
+    """Module-level insort key (no per-call closure on the hot path)."""
+    return warp.warp_id
+
+
+class SchedulerWakeQueue:
+    """Ready/sleeper/blocked bookkeeping for one warp scheduler."""
+
+    __slots__ = (
+        "sched", "ready", "candidates", "keep", "issued", "sleepers",
+        "_far", "_mem_sleepers", "_nonmem_sleepers",
+        "barrier_count", "acquire_count",
+    )
+
+    def __init__(self, sched) -> None:
+        self.sched = sched
+        # Sorted by warp id == launch order (ids are monotonic).
+        self.ready: list[Warp] = []
+        # Persistent per-cycle scratch (no per-cycle allocation).
+        self.candidates: list[Warp] = []
+        self.keep: list[Warp] = []
+        self.issued: list[Warp] = []
+        # (wake_cycle, warp_id, warp, is_memory_stall)
+        self.sleepers: list[tuple[int, int, Warp, bool]] = []
+        self._far: list[int] = []
+        self._mem_sleepers = 0
+        self._nonmem_sleepers = 0
+        self.barrier_count = 0
+        self.acquire_count = 0
+
+    # -- transitions into the ready list ----------------------------------------
+    def add_ready(self, warp: Warp) -> None:
+        """A freshly launched warp: ids are monotonic, so append keeps
+        the ready list sorted."""
+        warp.qstate = QS_READY
+        self.ready.append(warp)
+
+    def insert_ready(self, warp: Warp) -> None:
+        """A warp re-entering mid-list (woken sleeper, released blocker)."""
+        warp.qstate = QS_READY
+        insort(self.ready, warp, key=_by_warp_id)
+
+    def wake_due(self, cycle: int) -> None:
+        """Pop sleepers whose window has closed into the ready list."""
+        heap = self.sleepers
+        while heap and heap[0][0] <= cycle:
+            _, _, warp, is_mem = heappop(heap)
+            if is_mem:
+                self._mem_sleepers -= 1
+            else:
+                self._nonmem_sleepers -= 1
+            warp.qstate = QS_READY
+            insort(self.ready, warp, key=_by_warp_id)
+
+    # -- transitions out of the ready list --------------------------------------
+    def push_sleeper(self, warp: Warp, cycle: int) -> None:
+        """Start a stall window (caller has already detached the warp
+        from the ready list)."""
+        warp.qstate = QS_SLEEPING
+        wake = warp.wake_cycle
+        is_mem = warp.stalled_on == "memory"
+        if is_mem:
+            self._mem_sleepers += 1
+        else:
+            self._nonmem_sleepers += 1
+            if wake - cycle > MEMORY_STALL_HORIZON:
+                heappush(self._far, wake - MEMORY_STALL_HORIZON)
+        heappush(self.sleepers, (wake, warp.warp_id, warp, is_mem))
+
+    def park_acquire(self, warp: Warp) -> None:
+        """Acquire park detected at qualification time (caller detaches)."""
+        warp.qstate = QS_ACQUIRE
+        self.acquire_count += 1
+
+    def on_finish(self, warp: Warp) -> None:
+        """The warp finished: release whichever structure owns it.
+
+        On the issue path the warp is always ``QS_READY`` (EXIT can only
+        issue from the ready list), but the technique layer can finish a
+        *parked* warp — the acquire-wakeup handoff in
+        ``RegMutexSmState.on_warp_finish`` — so the blocked counts are
+        released here too.  (A sleeping warp cannot finish; see the
+        module docstring.)
+        """
+        qs = warp.qstate
+        if qs == QS_READY:
+            self.ready.remove(warp)
+        elif qs == QS_BARRIER:
+            self.barrier_count -= 1
+        elif qs == QS_ACQUIRE:
+            self.acquire_count -= 1
+        warp.qstate = QS_OUT
+
+    def dispose_issued(self, warp: Warp, cycle: int) -> None:
+        """Re-home a warp after it issued this cycle.
+
+        Idempotent (guarded by ``qstate``): with a multi-issue scheduler
+        the same warp can appear in the issued scratch twice, and a
+        barrier release within the same pass may have re-homed it
+        already.
+        """
+        if warp.qstate != QS_READY:
+            return  # finished, or already re-homed by a same-pass event
+        status = warp.status
+        if status is WarpStatus.READY:
+            if warp.wake_cycle > cycle:  # eager acquire backoff
+                self.ready.remove(warp)
+                self.push_sleeper(warp, cycle)
+            return
+        if status is WarpStatus.AT_BARRIER:
+            self.ready.remove(warp)
+            warp.qstate = QS_BARRIER
+            self.barrier_count += 1
+            return
+        if status is WarpStatus.WAITING_ACQUIRE:
+            self.ready.remove(warp)
+            warp.qstate = QS_ACQUIRE
+            self.acquire_count += 1
+
+    # -- event re-arms ----------------------------------------------------------
+    def unblock_barrier(self, warp: Warp) -> None:
+        if warp.qstate == QS_BARRIER:
+            self.barrier_count -= 1
+            self.insert_ready(warp)
+
+    def unblock_acquire(self, warp: Warp) -> None:
+        if warp.qstate == QS_ACQUIRE:
+            self.acquire_count -= 1
+            self.insert_ready(warp)
+
+    # -- stall attribution ------------------------------------------------------
+    def sleeper_flags(self, cycle: int) -> tuple[bool, bool]:
+        """(memory, scoreboard) stall flags contributed by sleepers.
+
+        Reproduces the scan's per-sleeper classification from the
+        aggregate counts (see the module docstring).  Lazily prunes the
+        far heap; ``cycle`` must be non-decreasing across calls, which
+        the stepper guarantees.
+        """
+        far = self._far
+        while far and far[0] <= cycle:
+            heappop(far)
+        far_n = len(far)
+        memory = self._mem_sleepers > 0 or far_n > 0
+        scoreboard = self._nonmem_sleepers > far_n
+        return memory, scoreboard
+
+    # -- introspection (tests, invariant sweeps) --------------------------------
+    def sleeping_warps(self) -> int:
+        return self._mem_sleepers + self._nonmem_sleepers
+
+    def check_hygiene(self) -> None:
+        """Structural invariants, for tests and the sanitizer sweep."""
+        assert len(self.sleepers) == self._mem_sleepers + self._nonmem_sleepers, (
+            f"sleeper heap {len(self.sleepers)} != class counts "
+            f"{self._mem_sleepers}+{self._nonmem_sleepers}"
+        )
+        assert self.barrier_count >= 0 and self.acquire_count >= 0
+        ids = [w.warp_id for w in self.ready]
+        assert ids == sorted(ids), f"ready list out of order: {ids}"
+        for w in self.ready:
+            assert w.qstate == QS_READY and w.status is WarpStatus.READY, (
+                f"warp {w.warp_id} in ready with qstate={w.qstate} "
+                f"status={w.status}"
+            )
+        for _, _, w, _ in self.sleepers:
+            assert w.qstate == QS_SLEEPING and w.status is WarpStatus.READY, (
+                f"warp {w.warp_id} asleep with qstate={w.qstate} "
+                f"status={w.status}"
+            )
+
+
+class IssueEngine:
+    """Per-SM coordinator: routes warp events to the owning scheduler's
+    wake queue (warps are partitioned by ``warp_id % num_schedulers``,
+    matching the SM's launch-time partition)."""
+
+    __slots__ = ("units", "_num")
+
+    def __init__(self, schedulers) -> None:
+        self.units = [SchedulerWakeQueue(s) for s in schedulers]
+        self._num = len(self.units)
+
+    def unit_for(self, warp: Warp) -> SchedulerWakeQueue:
+        return self.units[warp.warp_id % self._num]
+
+    def add_warp(self, warp: Warp) -> None:
+        """A CTA launch made this warp resident (and ready)."""
+        self.unit_for(warp).add_ready(warp)
+
+    def on_finish(self, warp: Warp) -> None:
+        self.unit_for(warp).on_finish(warp)
+
+    def on_barrier_release(self, cta) -> None:
+        """A barrier released: re-arm every warp it was blocking.
+
+        The arriving warp itself is still ``QS_READY`` (it is re-homed
+        by its scheduler's issued-warp disposition), so the qstate guard
+        skips it here.
+        """
+        for warp in cta.warps:
+            if warp.qstate == QS_BARRIER:
+                self.unit_for(warp).unblock_barrier(warp)
+
+    def on_acquire_wake(self, warp: Warp) -> None:
+        """The technique handed this parked warp a wakeup."""
+        self.unit_for(warp).unblock_acquire(warp)
+
+    def earliest_wake(self) -> int | None:
+        """Soonest sleeper wake cycle across all schedulers (the
+        fast-forward target; None when no warp has a self-timer)."""
+        best: int | None = None
+        for unit in self.units:
+            heap = unit.sleepers
+            if heap and (best is None or heap[0][0] < best):
+                best = heap[0][0]
+        return best
+
+    def check_hygiene(self) -> None:
+        for unit in self.units:
+            unit.check_hygiene()

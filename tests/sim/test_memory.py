@@ -71,6 +71,32 @@ class TestMemoryModel:
         assert m.earliest_completion(0) == 28
         assert m.earliest_completion(28) == 38
 
+    def test_earliest_completion_fast_path_matches_scan(self):
+        """The cached ``_next_retire`` answer must equal the reference
+        scan at every point of a retire-at-cycle-start lifecycle."""
+        m = _model(hit_rate=0.5, max_in_flight=32)
+        cycle = 0
+        for step in range(60):
+            cycle += 7
+            m.retire(cycle)  # SM order: retire first, then ask
+            if m.can_accept() and step % 2 == 0:
+                m.issue_load(cycle)
+            assert m.earliest_completion(cycle) == \
+                m._earliest_completion_scan(cycle)
+
+    def test_earliest_completion_stale_cache_falls_back(self):
+        """A caller that skipped retire() sees a stale ``<= cycle``
+        cached minimum; the fast path must fall back to the scan, not
+        report a completion in the past."""
+        m = _model(hit_rate=1.0, max_in_flight=8, l1=28)
+        m.issue_load(0)    # done at 28
+        m.issue_load(50)   # done at 78
+        # No retire: at cycle 40 the cached _next_retire (28) is stale.
+        assert m._next_retire == 28
+        assert m.earliest_completion(40) == 78
+        assert m.earliest_completion(40) == m._earliest_completion_scan(40)
+        assert m.earliest_completion(100) is None
+
     def test_observed_hit_rate_converges(self):
         m = _model(hit_rate=0.5, max_in_flight=10_000)
         for _ in range(4000):

@@ -57,6 +57,33 @@ class TestGto:
         assert sched.pick(warps) is warps[1]
         assert sched.pick([warps[2], warps[3]]) is warps[2]
 
+    def test_priority_hook_called_once_per_candidate(self):
+        """The hook runs exactly once per candidate per pick — it used
+        to run inside both a min() and a list comprehension (2N calls),
+        and hooks are user-supplied so extra calls are observable."""
+        calls = []
+        warps = _warps(5)
+        warps[2].owns_pair_lock = True
+
+        def hook(w):
+            calls.append(w.warp_id)
+            return 0 if w.owns_pair_lock else 1
+
+        sched = GtoScheduler(0, priority=hook)
+        assert sched.pick(warps) is warps[2]
+        assert sorted(calls) == [0, 1, 2, 3, 4]
+
+    def test_priority_single_pass_matches_owf_semantics(self):
+        """Single-pass top-tier selection: lowest priority wins, ties
+        break greedy-then-oldest — same answers as the old two-pass."""
+        warps = _warps(6)
+        prio = {0: 2, 1: 1, 2: 1, 3: 2, 4: 1, 5: 3}
+        sched = GtoScheduler(0, priority=lambda w: prio[w.warp_id])
+        assert sched.pick(warps) is warps[1]      # oldest of the 1-tier
+        sched.notify_issued(warps[4])
+        assert sched.pick(warps) is warps[4]      # greedy within tier
+        assert sched.pick([warps[0], warps[3], warps[5]]) is warps[0]
+
 
 class TestLrr:
     def test_round_robin_order(self):
@@ -79,6 +106,35 @@ class TestLrr:
 
     def test_empty(self):
         assert LrrScheduler(0).pick([]) is None
+
+    def test_rotation_over_id_ordered_candidates(self):
+        """Sort-free pick: with the (now documented) id-ascending
+        candidate precondition, rotation must still visit every warp in
+        round-robin order across picks, including wrap-around."""
+        sched = LrrScheduler(0)
+        warps = _warps(5)
+        order = []
+        for _ in range(10):
+            chosen = sched.pick(warps)
+            order.append(chosen.warp_id)
+            sched.notify_issued(chosen)
+        assert order == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4]
+
+    def test_wraps_when_last_issued_is_max_id(self):
+        sched = LrrScheduler(0)
+        warps = _warps(4)
+        sched.notify_issued(warps[3])
+        assert sched.pick(warps) is warps[0]
+
+    def test_rotation_with_gaps(self):
+        """Stalled warps vanish from candidates; rotation continues from
+        the next higher id that is present."""
+        sched = LrrScheduler(0)
+        warps = _warps(6)
+        sched.notify_issued(warps[2])
+        assert sched.pick([warps[0], warps[4], warps[5]]) is warps[4]
+        sched.notify_issued(warps[4])
+        assert sched.pick([warps[0], warps[1]]) is warps[0]
 
 
 class TestFactory:

@@ -98,3 +98,42 @@ class TestScoreboard:
         sb.record_write(0, 1, ready_cycle=100)
         sb.remove_warp(0)
         assert sb.earliest_ready(0) is None
+
+    def test_earliest_ready_heap_matches_scan(self):
+        """The completion min-heap must agree with the retained
+        reference scan through a randomized record/expire/remove
+        lifecycle with monotonically increasing query cycles (the
+        stepper's access pattern — the heap prunes lazily, so queries
+        never move backwards)."""
+        import random
+
+        rng = random.Random(42)
+        sb = Scoreboard()
+        for wid in range(6):
+            sb.register_warp(wid)
+        live = set(range(6))
+        cycle = 0
+        for _ in range(300):
+            cycle += rng.randint(0, 5)
+            roll = rng.random()
+            if roll < 0.55 and live:
+                wid = rng.choice(sorted(live))
+                sb.record_write(wid, rng.randrange(8),
+                                ready_cycle=cycle + rng.randint(1, 120))
+            elif roll < 0.8:
+                sb.expire(cycle)
+            elif live:
+                wid = rng.choice(sorted(live))
+                sb.remove_warp(wid)
+                live.discard(wid)
+            assert sb.earliest_ready(cycle) == sb._earliest_ready_scan(cycle)
+
+    def test_earliest_ready_ignores_superseded_entries(self):
+        """record_write keeps the max ready_cycle per register; the heap
+        holds both pushes but must report only the live (max) value."""
+        sb = Scoreboard()
+        sb.register_warp(0)
+        sb.record_write(0, 1, ready_cycle=40)
+        sb.record_write(0, 1, ready_cycle=90)  # supersedes: max wins
+        assert sb.earliest_ready(0) == 90
+        assert sb.earliest_ready(0) == sb._earliest_ready_scan(0)
