@@ -4,31 +4,39 @@ Runs the SAD app (the suite's longest-running kernel) on a single
 GTX480 SM under RegMutex, seed 2018, 8 total CTAs — enough cycles
 (~310k) that steady-state issue-path cost dominates and per-run noise
 sits under a percent.  Reports wall time and cycles/sec, best of
-``--repeat`` runs.
+``--repeat`` runs, and (unless ``--no-artifact``) writes a schema-1
+perf artifact per engine — ``BENCH_sad_<engine>.json`` — so the
+scan/event/columnar trajectory is committed alongside BENCH_seed.json
+(which stays the orchestrator baseline).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/sad_longrun.py [--engine event|scan]
-                                                    [--repeat 3]
+    PYTHONPATH=src python benchmarks/sad_longrun.py \
+        [--engine scan|event|columnar] [--repeat 3] [--all-engines] \
+        [--artifact-dir DIR] [--no-artifact]
 
 PR 3 measured the scan stepper at 8.883s on its machine; absolute
 seconds are machine-dependent, so compare engines on the *same*
-machine (PROFILING.md records one such pair).
+machine (PROFILING.md records one such 3-way set).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import time
 from dataclasses import replace
 
 from repro.arch.config import GTX480
+from repro.observe.perf import PERF_ARTIFACT_VERSION, artifact_filename
 from repro.regmutex.issue_logic import RegMutexTechnique
 from repro.sim.gpu import Gpu
 from repro.workloads.suite import build_app_kernel, get_app
 
 TOTAL_CTAS = 8
 SEED = 2018
+ENGINES = ("scan", "event", "columnar")
 
 
 def run_once(engine: str) -> tuple[int, float]:
@@ -42,23 +50,92 @@ def run_once(engine: str) -> tuple[int, float]:
     return result.cycles, elapsed
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--engine", choices=("event", "scan"), default="event")
-    parser.add_argument("--repeat", type=int, default=3)
-    args = parser.parse_args()
+def bench_engine(engine: str, repeat: int) -> dict:
+    """Run one engine ``repeat`` times; return a schema-1 perf artifact.
 
+    Shaped exactly like ``repro.observe.perf.perf_artifact`` output so
+    ``load_perf_artifact`` / ``compare_perf_artifacts`` (and therefore
+    ``repro bench --baseline --fail-threshold``) accept these files as
+    baselines too.  Totals use the best run — the microbenchmark tracks
+    the engine's ceiling, not scheduler jitter on a busy machine.
+    """
+    jobs = []
     best: float | None = None
     cycles = 0
-    for i in range(args.repeat):
-        cycles, elapsed = run_once(args.engine)
+    for i in range(repeat):
+        cycles, elapsed = run_once(engine)
         print(f"run {i + 1}: {cycles} cycles in {elapsed:.3f}s "
               f"({cycles / elapsed:,.0f} cycles/sec)")
+        jobs.append({
+            "label": f"SAD/longrun/{engine}/run{i + 1}",
+            "mode": "inline",
+            "seconds": round(elapsed, 6),
+            "cycles": cycles,
+            "cycles_per_sec": round(cycles / elapsed, 1),
+            "failed": False,
+            "failure_kind": None,
+            "attempts": 1,
+        })
         if best is None or elapsed < best:
             best = elapsed
     assert best is not None
-    print(f"best [{args.engine}]: {cycles} cycles in {best:.3f}s "
+    print(f"best [{engine}]: {cycles} cycles in {best:.3f}s "
           f"({cycles / best:,.0f} cycles/sec)")
+    return {
+        "schema": PERF_ARTIFACT_VERSION,
+        "label": f"sad_{engine}",
+        "workers": 1,
+        "wall_seconds": round(sum(j["seconds"] for j in jobs), 6),
+        "cache": {"hits": 0, "misses": len(jobs), "hit_rate": 0.0},
+        "totals": {
+            "jobs": len(jobs),
+            "failures": 0,
+            "sim_seconds": round(best, 6),
+            "cycles": cycles,
+            "cycles_per_sec": round(cycles / best, 1),
+        },
+        "failure_kinds": {},
+        "jobs": jobs,
+    }
+
+
+def write_artifact(artifact: dict, directory: str) -> str:
+    path = os.path.join(directory, artifact_filename(artifact["label"]))
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine", choices=ENGINES, default="event")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--all-engines", action="store_true",
+        help="benchmark all three engines back-to-back (same process, "
+             "same machine state) instead of just --engine",
+    )
+    parser.add_argument(
+        "--artifact-dir", default=".", metavar="DIR",
+        help="directory for BENCH_sad_<engine>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--no-artifact", action="store_true",
+        help="skip writing the per-engine perf artifact",
+    )
+    args = parser.parse_args()
+    if args.repeat <= 0:
+        parser.error("--repeat must be positive")
+
+    engines = ENGINES if args.all_engines else (args.engine,)
+    for engine in engines:
+        artifact = bench_engine(engine, args.repeat)
+        if not args.no_artifact:
+            path = write_artifact(artifact, args.artifact_dir)
+            print(f"(perf artifact written to {path})")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,20 @@ greedy-then-oldest scheduling, up to 48 resident warps per SM.  The
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
+
+
+def _default_issue_engine() -> str:
+    """Default issue engine, overridable via ``REPRO_ISSUE_ENGINE``.
+
+    The env hook exists so CI can run the whole tier-1 suite under an
+    alternate engine (``REPRO_ISSUE_ENGINE=columnar python -m pytest``)
+    without touching every test's config literal.  The knob is
+    timing-neutral by contract (all engines are bit-identical) and is
+    excluded from experiment cache keys either way.
+    """
+    return os.environ.get("REPRO_ISSUE_ENGINE", "event")
 
 
 @dataclass(frozen=True)
@@ -61,11 +74,15 @@ class GpuConfig:
     sanitizer: bool = False
     # Issue-path implementation: "event" (the default) drives each
     # scheduler from wake-ordered ready queues + sleeper heaps; "scan"
-    # selects the naive all-warp reference stepper.  The two are
-    # bit-identical (cycles, SmStats, oracle digests) — this knob
-    # exists for the differential identity tests and for auditing, and
-    # is excluded from experiment cache keys for that reason.
-    issue_engine: str = "event"
+    # selects the naive all-warp reference stepper; "columnar" runs the
+    # array-backed store (repro.sim.columnar) — per-slot state columns
+    # with thin Warp views — and is the fast path for long runs.  All
+    # three are bit-identical (cycles, SmStats, oracle digests) — this
+    # knob exists for the differential identity tests, for auditing,
+    # and for speed, and is excluded from experiment cache keys for
+    # that reason.  Defaults to "event" unless REPRO_ISSUE_ENGINE says
+    # otherwise (CI uses the env hook to re-run the suite per engine).
+    issue_engine: str = field(default_factory=_default_issue_engine)
     # Cadence of the sanitizer's per-cycle *structural* checks (SRP
     # consistency, wait-queue hygiene, slot accounting): 1 = every cycle
     # (the default; what the fault campaign relies on for tight
@@ -89,7 +106,7 @@ class GpuConfig:
             raise ValueError("watchdog_window must be >= 0 (0 disables)")
         if self.sanitizer_stride <= 0:
             raise ValueError("sanitizer_stride must be positive")
-        if self.issue_engine not in ("event", "scan"):
+        if self.issue_engine not in ("event", "scan", "columnar"):
             raise ValueError(f"unknown issue engine {self.issue_engine!r}")
 
     @property

@@ -214,6 +214,34 @@ class Sanitizer:
                     )
                 seen.add(warp.warp_id)
 
+        core = getattr(sm, "_columnar", None)
+        if core is not None:
+            # Columnar engine: the store's own structural contract —
+            # queue membership vs qstate codes, ready-list ordering,
+            # finished/free slots detached — plus agreement between the
+            # holds column and the SRP's warp-status bitmask (the column
+            # is a cache of the hardware structure; divergence means a
+            # lost acquire/release transition).
+            try:
+                core.check_hygiene()
+            except AssertionError as exc:
+                self._report("columnar-hygiene", str(exc), cycle)
+            srp = getattr(state, "srp", None)
+            if srp is not None:
+                srp_holds = srp.occupancy_columns()["holds"]
+                holds = core.holds
+                for slot, warp_id in enumerate(core.wid):
+                    if warp_id < 0 or slot >= len(srp_holds):
+                        continue
+                    if bool(holds[slot]) != bool(srp_holds[slot]):
+                        self._report(
+                            "columnar-hygiene",
+                            f"holds column says {bool(holds[slot])} for "
+                            f"slot {slot} but SRP status bit is "
+                            f"{bool(srp_holds[slot])}",
+                            cycle, warp_id,
+                        )
+
         occupied = sm._occupied_slots
         if len(occupied) != sm._resident_warp_count:
             self._report(

@@ -130,6 +130,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="perf artifact to compare cycles/sec against; prints a "
              "::warning:: line (never fails) beyond a 15%% regression",
     )
+    bench.add_argument(
+        "--fail-threshold", type=float, default=None, metavar="PCT",
+        help="with --baseline: exit non-zero (::error:: annotation) "
+             "when cycles/sec regresses more than PCT%% below the "
+             "baseline — the CI hard gate; without it the comparison "
+             "stays advisory",
+    )
     for name in _EXPERIMENTS:
         p = sub.add_parser(name, help=f"regenerate {name}")
         p.add_argument(
@@ -378,10 +385,26 @@ def _cmd_bench(args, runner: ExperimentRunner) -> int:
 
         current = perf_artifact(args.label, orch.telemetry)
         baseline = load_perf_artifact(args.baseline)
+        if args.fail_threshold is not None:
+            # Hard gate: regressions past the caller's noise band fail
+            # the run (GitHub Actions ::error:: annotation + exit 1).
+            # The caller owns the threshold because it owns the noise
+            # model: the CI runner pins it wide enough that only real
+            # issue-path regressions trip it.
+            if args.fail_threshold < 0:
+                raise ValueError("--fail-threshold must be >= 0")
+            failures = compare_perf_artifacts(
+                current, baseline, warn_threshold=args.fail_threshold / 100.0
+            )
+            for line in failures:
+                print(f"::error::{line}")
+            if failures:
+                return 1
         warnings = compare_perf_artifacts(current, baseline)
         for line in warnings:
-            # GitHub Actions annotation syntax; advisory, never a failure
-            # (absolute throughput is machine-dependent).
+            # GitHub Actions annotation syntax; advisory (absolute
+            # throughput is machine-dependent) — pass --fail-threshold
+            # to turn the comparison into a hard gate.
             print(f"::warning::{line}")
         if not warnings:
             cur = current["totals"]["cycles_per_sec"]

@@ -97,10 +97,16 @@ def _record_checksum(fields: dict) -> str:
 
 # Config fields that cannot affect simulated timing: they select
 # between bit-identical implementations (the wake-queue property tests
-# and the repro.check oracle enforce that identity).  Excluded from
-# fingerprints so flipping them does not orphan cached records — and so
-# adding them did not invalidate every pre-existing key.
-_TIMING_NEUTRAL_CONFIG_FIELDS = frozenset({"issue_engine"})
+# and the repro.check oracle enforce that identity) or arm pure
+# checkers whose hooks observe without perturbing the schedule.
+# Excluded from fingerprints so flipping them does not orphan cached
+# records — and so adding them did not invalidate every pre-existing
+# key (v6 stays v6).
+_TIMING_NEUTRAL_CONFIG_FIELDS = frozenset({
+    "issue_engine",   # scan / event / columnar: same schedule by contract
+    "sanitizer",      # observer-only runtime checks (raise, never steer)
+    "sanitizer_stride",
+})
 
 
 def _config_fingerprint(config: GpuConfig) -> str:

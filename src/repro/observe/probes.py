@@ -75,26 +75,39 @@ class ProbeSeries:
         return _COLUMNS
 
     def sample(self, sm) -> None:
-        """Append one row snapshotted from a live SM."""
-        ready = barrier = waiting = resident = holders = live = 0
-        for warps in sm._warps_by_scheduler:
-            for w in warps:
-                status = w.status
-                if status is WarpStatus.FINISHED:
-                    continue
-                resident += 1
-                if status is WarpStatus.READY:
-                    ready += 1
-                elif status is WarpStatus.AT_BARRIER:
-                    barrier += 1
-                elif status is WarpStatus.WAITING_ACQUIRE:
-                    waiting += 1
-                md = w.kernel.metadata
-                base = md.base_set_size or md.regs_per_thread
-                live += base
-                if w.holds_extended_set:
-                    holders += 1
-                    live += md.extended_set_size or 0
+        """Append one row snapshotted from a live SM.
+
+        Under the columnar engine the histogram is one bulk pass over
+        the state columns (:meth:`repro.sim.columnar.ColumnarCore.
+        probe_counts` — vectorized when numpy is present) instead of a
+        per-warp object walk; both paths count the same thing, which
+        the column-view tests assert.
+        """
+        core = getattr(sm, "_columnar", None)
+        if core is not None:
+            (
+                ready, barrier, waiting, resident, holders, live,
+            ) = core.probe_counts()
+        else:
+            ready = barrier = waiting = resident = holders = live = 0
+            for warps in sm._warps_by_scheduler:
+                for w in warps:
+                    status = w.status
+                    if status is WarpStatus.FINISHED:
+                        continue
+                    resident += 1
+                    if status is WarpStatus.READY:
+                        ready += 1
+                    elif status is WarpStatus.AT_BARRIER:
+                        barrier += 1
+                    elif status is WarpStatus.WAITING_ACQUIRE:
+                        waiting += 1
+                    md = w.kernel.metadata
+                    base = md.base_set_size or md.regs_per_thread
+                    live += base
+                    if w.holds_extended_set:
+                        holders += 1
+                        live += md.extended_set_size or 0
 
         view = sm.technique.srp_view()
         in_use, total = view if view is not None else (0, 0)

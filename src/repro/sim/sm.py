@@ -29,6 +29,7 @@ interactions RegMutex lives on without modelling bank conflicts.
 from __future__ import annotations
 
 from bisect import insort
+from heapq import heappop, heappush
 
 from repro.arch.config import GpuConfig
 from repro.errors import (
@@ -39,6 +40,27 @@ from repro.errors import (
 )
 from repro.isa.instructions import Instruction, OpClass, Opcode
 from repro.isa.kernel import Kernel
+from repro.sim.columnar import (
+    K_ACQUIRE,
+    K_ALU,
+    K_BARRIER,
+    K_BRA,
+    K_EXIT,
+    K_JMP,
+    K_LOAD,
+    K_SHARED_LOAD,
+    K_STORE,
+    SL_MEMORY,
+    SL_NONE,
+    SL_SCOREBOARD,
+    SL_TECHNIQUE,
+    ST_ACQUIRE,
+    ST_BARRIER,
+    ST_FINISHED,
+    ST_READY,
+    ColumnarCore,
+    ColumnarScoreboard,
+)
 from repro.sim.cta import Cta
 from repro.sim.memory import MemoryModel
 from repro.sim.rand import DeterministicRng
@@ -46,8 +68,16 @@ from repro.sim.scheduler import WarpScheduler, make_scheduler
 from repro.sim.scoreboard import Scoreboard
 from repro.sim.stats import SmStats
 from repro.sim.technique import SmTechniqueState
-from repro.sim.wakequeue import IssueEngine, _by_warp_id
-from repro.sim.warp import Warp, WarpStatus
+from repro.sim.wakequeue import (
+    MEMORY_STALL_HORIZON,
+    QS_ACQUIRE,
+    QS_BARRIER,
+    QS_READY,
+    QS_SLEEPING,
+    IssueEngine,
+    _by_warp_id,
+)
+from repro.sim.warp import Warp, WarpStatus, resolve_conditional_branch
 
 # Scoreboard-expiry cadence: purging every cycle is wasted work; the
 # horizon only affects dict size, never correctness.
@@ -99,7 +129,22 @@ class StreamingMultiprocessor:
         # hook can test it.
         self._observer = None
 
-        self.scoreboard = Scoreboard()
+        self.schedulers: list[WarpScheduler] = [
+            make_scheduler(config.scheduler_policy, i, priority=scheduler_priority)
+            for i in range(config.num_schedulers)
+        ]
+        # Columnar store (``config.issue_engine == "columnar"``): per-slot
+        # state arrays + thin Warp views — see repro.sim.columnar.  When
+        # active, the scoreboard is the columnar facade over the same
+        # store, so every external consumer (sanitizer hazard re-check,
+        # deadlock diagnostics, tests) reads the columns through the
+        # identical Scoreboard API.
+        self._columnar: ColumnarCore | None = None
+        if config.issue_engine == "columnar":
+            self._columnar = ColumnarCore(self.schedulers, config)
+            self.scoreboard = ColumnarScoreboard(self._columnar)
+        else:
+            self.scoreboard = Scoreboard()
         self.memory = MemoryModel(config, rng.fork(0x3E3))
         if config.model_bank_conflicts:
             from repro.sim.banks import BankedRegisterFile
@@ -107,10 +152,6 @@ class StreamingMultiprocessor:
             self.banked_rf = BankedRegisterFile(config.register_file_banks)
         else:
             self.banked_rf = None
-        self.schedulers: list[WarpScheduler] = [
-            make_scheduler(config.scheduler_policy, i, priority=scheduler_priority)
-            for i in range(config.num_schedulers)
-        ]
         self.resident_ctas: list[Cta] = []
         self._ctas_by_id: dict[int, Cta] = {}
         self._warps_by_scheduler: list[list[Warp]] = [
@@ -180,13 +221,26 @@ class StreamingMultiprocessor:
         ) // self.config.warp_size
         warps = []
         for _ in range(warps_per_cta):
-            warp = Warp(
-                warp_id=self._next_warp_id,
-                cta_id=self._next_cta_seq,
-                kernel=cta_kernel,
-                rng=self.rng.fork(self._next_warp_id + 1),
-                slot=self._allocate_slot(self._next_warp_id),
-            )
+            if self._columnar is not None:
+                # Columnar mode: the core owns the hot state and hands
+                # back a bound view (slot columns initialized, scoreboard
+                # row allocated, wid→slot adopted) — same RNG stream as
+                # the object path (fork consumes no parent draws).
+                warp = self._columnar.new_warp(
+                    self._next_warp_id,
+                    self._next_cta_seq,
+                    cta_kernel,
+                    self.rng.fork(self._next_warp_id + 1),
+                    self._allocate_slot(self._next_warp_id),
+                )
+            else:
+                warp = Warp(
+                    warp_id=self._next_warp_id,
+                    cta_id=self._next_cta_seq,
+                    kernel=cta_kernel,
+                    rng=self.rng.fork(self._next_warp_id + 1),
+                    slot=self._allocate_slot(self._next_warp_id),
+                )
             self.scoreboard.register_warp(warp.warp_id)
             warps.append(warp)
             self._warps_by_scheduler[
@@ -196,6 +250,9 @@ class StreamingMultiprocessor:
         if self._engine is not None:
             for warp in warps:
                 self._engine.add_warp(warp)
+        elif self._columnar is not None:
+            for warp in warps:
+                self._columnar.add_warp(warp)
         cta = Cta(self._next_cta_seq, warps)
         self.resident_ctas.append(cta)
         self._ctas_by_id[cta.cta_id] = cta
@@ -231,6 +288,10 @@ class StreamingMultiprocessor:
             slot = warp.warp_id % self.config.num_schedulers
             self._warps_by_scheduler[slot].remove(warp)
             self.schedulers[slot].notify_removed(warp)
+            if self._columnar is not None:
+                # Detach the view (final values copied into the object)
+                # and free the column slot for the next launch.
+                self._columnar.release_warp(warp)
 
     # -- per-cycle machinery ------------------------------------------------------
     @property
@@ -345,12 +406,16 @@ class StreamingMultiprocessor:
     def step(self) -> int:
         """Advance one cycle; returns the number of instructions issued.
 
-        Dispatches to the event-driven stepper (the default) or the
-        naive all-warp-scan reference stepper (``issue_engine="scan"``).
-        The two are bit-identical — same cycle counts, same ``SmStats``
-        down to each stall counter, same oracle digests — which the
-        wake-queue property tests and the ``repro check`` oracle enforce.
+        Dispatches to the event-driven stepper (the default), the
+        columnar array-backed stepper (``issue_engine="columnar"``), or
+        the naive all-warp-scan reference stepper
+        (``issue_engine="scan"``).  All three are bit-identical — same
+        cycle counts, same ``SmStats`` down to each stall counter, same
+        oracle digests — which the wake-queue property tests and the
+        ``repro check`` oracle enforce.
         """
+        if self._columnar is not None:
+            return self._step_columnar()
         if self._engine is not None:
             return self._step_event()
         return self._step_scan()
@@ -476,6 +541,609 @@ class StreamingMultiprocessor:
         if self._observer is not None:
             self._observer.on_cycle(self)
         return issued
+
+    def _columnar_on_exit(self, warp: Warp, cycle: int) -> None:
+        """EXIT commit for the columnar stepper: mirrors the event path
+        (finish → engine release → technique hook → CTA retire/refill)
+        writing the status/dyn columns directly."""
+        core = self._columnar
+        slot = warp.slot
+        core.status[slot] = ST_FINISHED
+        core.dyn[slot] += 1
+        core.on_finish(warp.warp_id, slot)
+        self.technique.on_warp_finish(warp, cycle)
+        cta = self._ctas_by_id[warp.cta_id]
+        if cta.finished:
+            self._retire_cta(cta)
+            self._fill_ctas()
+
+    def _step_columnar(self) -> int:
+        """Single-cycle entry point for the columnar engine (``step()``
+        API): one iteration of :meth:`_run_columnar`, so manual steppers
+        and the batched run share one implementation of the cycle body."""
+        return self._run_columnar(0, single_step=True)
+
+    def _run_columnar(self, max_cycles: int, single_step: bool = False):
+        """Array-backed issue path: the event engine's exact algorithm
+        (wake-ordered ready lists, sleeper heaps, blocked counts, the
+        same idle-attribution flags) over the columnar store.
+
+        What changes is the *representation and the loop structure*, not
+        the schedule: warps are ``(warp_id, slot)`` tuples indexing flat
+        per-slot columns, instructions are pre-decoded per-kernel arrays
+        (:class:`~repro.sim.columnar.KernelColumns`), and the
+        qualification/execute/dispose steps are inlined into this one
+        frame — no ``Warp`` attribute traffic, no ``Instruction``
+        property/enum cost, no per-check method calls.  The whole run
+        loop (step, fast-forward, watchdog, cycle limit) lives in this
+        frame too, so per-cycle constants (hook bindings, column
+        aliases, width/caps) are hoisted once per *run* instead of once
+        per cycle, and the stall counters accumulate in locals that are
+        flushed to ``SmStats`` only when someone can observe them (tail
+        hooks, fast-forward hooks, error paths, return).
+
+        Technique, sanitizer, and observer hooks still receive the bound
+        views, so their side effects (and hence the issue order) replay
+        identically; the default no-op technique hooks are detected once
+        and skipped entirely.  ``self.cycle`` is kept current every
+        cycle — mid-cycle hooks (CTA retire observers, the sanitizer)
+        read it.
+
+        Bit-identity with ``_step_event`` is enforced by the 3-way
+        property tests and the differential oracle.  With
+        ``single_step=True``, runs exactly one cycle, flushes, and
+        returns the issued count (fast-forward/watchdog stay with the
+        generic ``run`` loop in that mode — which never engages for
+        columnar; it exists for manual ``step()`` drivers).
+        """
+        core = self._columnar
+        (
+            pc_col, wake_col, status_col, stall_col, qstate_col, dyn_col,
+            views, kcs, rngs, trips, sb_rows, sb_max, sb_heap,
+        ) = core.hot
+        units = core.units
+        num_sched = len(units)
+        memory = self.memory
+        mem_cap = memory._max_in_flight
+        scoreboard = self.scoreboard
+        tech = self.technique
+        tech_cls = type(tech)
+        # Hook-override detection (once per run: observer attach swaps
+        # the technique object before run starts): a base-class no-op
+        # hook is skipped without a call; an overridden one sees the
+        # bound views as usual.
+        tech_can_issue = (
+            None if tech_cls.can_issue is SmTechniqueState.can_issue
+            else tech.can_issue
+        )
+        tech_on_issue = (
+            None if tech_cls.on_issue is SmTechniqueState.on_issue
+            else tech.on_issue
+        )
+        tech_wakeups = (
+            tech_cls.wakeup_pending is not SmTechniqueState.wakeup_pending
+        )
+        sanitizer = self._sanitizer
+        banked_rf = self.banked_rf
+        observer = self._observer
+        stats = self.stats
+        resident_ctas = self.resident_ctas
+        issue_width = self.config.issue_width_per_scheduler
+        debug_inv = self.config.debug_invariants
+        window = self.config.watchdog_window
+        tail_hooks = (
+            debug_inv or sanitizer is not None or observer is not None
+        )
+        wid2slot = core.wid2slot
+        multi_issue = issue_width > 1
+        cycle = self.cycle
+        last_progress = self._last_progress_cycle
+        next_expire = cycle - (cycle % _EXPIRE_PERIOD) + _EXPIRE_PERIOD
+        # Stall/issue counters accumulate in locals; flushed to stats at
+        # observation points only.
+        d_issued = d_idle = d_mem = d_bar = d_sb = d_acq = d_res = 0
+
+        while True:
+            cycle += 1
+            self.cycle = cycle
+            issued_this = 0
+            nxt = memory._next_retire
+            if nxt is not None and nxt <= cycle:
+                memory.retire(cycle)
+            if cycle >= next_expire:
+                next_expire = cycle + _EXPIRE_PERIOD
+                while sb_heap and sb_heap[0][0] <= cycle:
+                    heappop(sb_heap)
+            if tech_wakeups:
+                pending = tech.wakeup_pending()
+                if pending:
+                    for warp in pending:
+                        if warp.status is WarpStatus.WAITING_ACQUIRE:
+                            warp.status = WarpStatus.READY
+                            core.on_acquire_wake(warp.warp_id, warp.slot)
+            d_res += self._resident_warp_count
+
+            for unit in units:
+                ready = unit.ready
+                sleepers = unit.sleepers
+                if sleepers and sleepers[0][0] <= cycle:
+                    while sleepers and sleepers[0][0] <= cycle:
+                        _, wid, slot, is_mem = heappop(sleepers)
+                        if is_mem:
+                            unit.mem_sleepers -= 1
+                        else:
+                            unit.nonmem_sleepers -= 1
+                        qstate_col[slot] = QS_READY
+                        insort(ready, (wid, slot))
+                # Blocked counts captured before qualification, like the
+                # event stepper (a warp parking during this pass
+                # contributes from the next cycle).
+                barrier_count = unit.barrier_count
+                acquire_count = unit.acquire_count
+                qual_mem = qual_sb = False
+                if ready:
+                    candidates = unit.candidates
+                    keep = unit.keep
+                    candidates.clear()
+                    # `keep` materializes lazily: in the dominant
+                    # all-qualify cycle every item lands in candidates
+                    # and `ready` is left untouched (qualified-so-far ==
+                    # candidates, so the first failure seeds keep from
+                    # it).
+                    routed = False
+                    for item in ready:
+                        wid, slot = item
+                        kc = kcs[slot]
+                        pc = pc_col[slot]
+                        # -- inline _issuable: scoreboard, memory
+                        #    window, technique gate --
+                        if sb_max[slot] <= cycle:
+                            sb_ok = True
+                        elif stall_col[slot] == SL_SCOREBOARD:
+                            # Waking from a scoreboard sleep: the recorded
+                            # wake IS the max over this pc's registers, and
+                            # only the warp's own issues (none since) can
+                            # grow its row — no re-scan needed.
+                            sb_ok = wake_col[slot] <= cycle
+                            latest = wake_col[slot]
+                        else:
+                            latest = cycle
+                            row = sb_rows[slot]
+                            for reg in kc.regs[pc]:
+                                r = row[reg]
+                                if r > latest:
+                                    latest = r
+                            sb_ok = latest <= cycle
+                        if not sb_ok:
+                            stall_col[slot] = SL_SCOREBOARD
+                            wake_col[slot] = latest
+                        elif (
+                            K_LOAD <= kc.kind[pc] <= K_SHARED_LOAD
+                            and memory._in_flight_total >= mem_cap
+                        ):
+                            stall_col[slot] = SL_MEMORY
+                            done = memory.earliest_completion(cycle)
+                            if done is not None:
+                                wake_col[slot] = done
+                        elif tech_can_issue is not None and not tech_can_issue(
+                            views[slot], kc.insts[pc], cycle
+                        ):
+                            stall_col[slot] = SL_TECHNIQUE
+                        else:
+                            stall_col[slot] = SL_NONE
+                            candidates.append(item)
+                            if routed:
+                                keep.append(item)
+                            continue
+                        # -- qualification failed: flags + routing --
+                        if not routed:
+                            routed = True
+                            keep.clear()
+                            keep.extend(candidates)
+                        sc = stall_col[slot]
+                        if sc == SL_MEMORY:
+                            qual_mem = True
+                        elif sb_max[slot] - cycle > MEMORY_STALL_HORIZON:
+                            qual_mem = True
+                        else:
+                            qual_sb = True
+                        if status_col[slot] != ST_READY:
+                            # Technique can_issue parked the warp.
+                            qstate_col[slot] = QS_ACQUIRE
+                            unit.acquire_count += 1
+                        elif wake_col[slot] > cycle:
+                            qstate_col[slot] = QS_SLEEPING
+                            wake = wake_col[slot]
+                            is_mem = sc == SL_MEMORY
+                            if is_mem:
+                                unit.mem_sleepers += 1
+                            else:
+                                unit.nonmem_sleepers += 1
+                                if wake - cycle > MEMORY_STALL_HORIZON:
+                                    heappush(
+                                        unit.far,
+                                        wake - MEMORY_STALL_HORIZON,
+                                    )
+                            heappush(sleepers, (wake, wid, slot, is_mem))
+                        else:
+                            keep.append(item)
+                    if routed:
+                        ready[:] = keep
+                else:
+                    candidates = None
+
+                issued_here = 0
+                if candidates:
+                    sched = unit.sched
+                    sched_kind = unit.kind
+                    issued_list = unit.issued
+                    for _ in range(issue_width):
+                        if not candidates:
+                            break
+                        # -- inline scheduler pick --
+                        if sched_kind == 0:  # GTO, default priority
+                            chosen = None
+                            greedy = sched._greedy
+                            if greedy is not None:
+                                gwid = greedy.warp_id
+                                for item in candidates:
+                                    if item[0] == gwid:
+                                        chosen = item
+                                        break
+                            if chosen is None:
+                                chosen = candidates[0]  # oldest: sorted
+                        elif sched_kind == 1:  # LRR
+                            chosen = None
+                            last = sched._last_id
+                            for item in candidates:
+                                if item[0] > last:
+                                    chosen = item
+                                    break
+                            if chosen is None:
+                                chosen = candidates[0]
+                        else:  # priority hook: real pick over views
+                            view_pick = sched.pick(
+                                [views[s] for _, s in candidates]
+                            )
+                            if view_pick is None:
+                                break
+                            chosen = (view_pick.warp_id, view_pick.slot)
+                        wid, slot = chosen
+                        # -- inline _execute --
+                        kc = kcs[slot]
+                        pc = pc_col[slot]
+                        kind = kc.kind[pc]
+                        view = views[slot]
+                        d_issued += 1
+                        if tech_on_issue is not None:
+                            tech_on_issue(view, kc.insts[pc], cycle)
+                        if sanitizer is not None:
+                            sanitizer.on_issue(view, kc.insts[pc], cycle)
+                        bank_penalty = 0
+                        if banked_rf is not None and kc.srcs[pc]:
+                            physical = [
+                                tech.resolve_physical(view, reg)
+                                for reg in kc.srcs[pc]
+                            ]
+                            bank_penalty = banked_rf.collect(
+                                slot, physical
+                            ).extra_cycles
+                        exited = False
+                        if kind == K_ALU:
+                            done = cycle + kc.lat[pc] + bank_penalty
+                            row = sb_rows[slot]
+                            for reg in kc.dsts[pc]:
+                                if done > row[reg]:
+                                    row[reg] = done
+                                    heappush(sb_heap, (done, wid, reg))
+                                    if done > sb_max[slot]:
+                                        sb_max[slot] = done
+                            pc_col[slot] = pc + 1
+                            dyn_col[slot] += 1
+                            last_progress = cycle
+                        elif kind <= K_SHARED_LOAD:  # LOAD / SHARED_LOAD
+                            done = memory.issue_load(
+                                cycle, shared=kind == K_SHARED_LOAD
+                            ) + bank_penalty
+                            row = sb_rows[slot]
+                            for reg in kc.dsts[pc]:
+                                if done > row[reg]:
+                                    row[reg] = done
+                                    heappush(sb_heap, (done, wid, reg))
+                                    if done > sb_max[slot]:
+                                        sb_max[slot] = done
+                            pc_col[slot] = pc + 1
+                            dyn_col[slot] += 1
+                            last_progress = cycle
+                        elif kind == K_STORE:
+                            pc_col[slot] = pc + 1
+                            dyn_col[slot] += 1
+                            last_progress = cycle
+                        elif kind == K_JMP:
+                            pc_col[slot] = kc.tgt[pc]
+                            dyn_col[slot] += 1
+                            last_progress = cycle
+                        elif kind == K_BRA:
+                            pc_col[slot] = resolve_conditional_branch(
+                                pc, kc.tgt[pc], kc.trip[pc], kc.prob[pc],
+                                trips[slot], rngs[slot],
+                            )
+                            dyn_col[slot] += 1
+                            last_progress = cycle
+                        elif kind == K_EXIT:
+                            if observer is not None:
+                                # CTA retire/launch hooks may read the
+                                # shared counters: flush first.
+                                stats.instructions_issued += d_issued
+                                stats.idle_scheduler_cycles += d_idle
+                                stats.stall_memory += d_mem
+                                stats.stall_barrier += d_bar
+                                stats.stall_scoreboard += d_sb
+                                stats.stall_acquire += d_acq
+                                stats.resident_warp_cycles += d_res
+                                d_issued = d_idle = d_mem = d_bar = 0
+                                d_sb = d_acq = d_res = 0
+                                self._last_progress_cycle = last_progress
+                            self._columnar_on_exit(view, cycle)
+                            last_progress = cycle
+                            exited = True
+                        elif kind == K_BARRIER:
+                            # Advance first: the warp resumes past the
+                            # barrier when released.
+                            pc_col[slot] = pc + 1
+                            dyn_col[slot] += 1
+                            last_progress = cycle
+                            cta = self._ctas_by_id[view.cta_id]
+                            if cta.arrive_at_barrier(view):
+                                core.on_barrier_release(cta)
+                        elif kind == K_ACQUIRE:
+                            if tech.try_acquire(view, cycle):
+                                pc_col[slot] = pc + 1
+                                dyn_col[slot] += 1
+                                last_progress = cycle
+                            elif status_col[slot] == ST_READY:
+                                # Eager retry backoff (see _execute).
+                                wake_col[slot] = cycle + _EAGER_RETRY_BACKOFF
+                        else:  # K_RELEASE
+                            tech.release(view, cycle)
+                            pc_col[slot] = pc + 1
+                            dyn_col[slot] += 1
+                            last_progress = cycle
+                        # -- inline notify_issued --
+                        if sched_kind == 0:
+                            sched.issued_count += 1
+                            sched._greedy = view
+                        elif sched_kind == 1:
+                            sched.issued_count += 1
+                            sched._last_id = wid
+                        else:
+                            sched.notify_issued(view)
+                        issued_this += 1
+                        issued_here += 1
+                        issued_list.append(chosen)
+                        if multi_issue:
+                            # candidates is dead after a width-1 pick
+                            # (cleared on next use) — only maintain it
+                            # when a second pick this cycle can read it.
+                            candidates.remove(chosen)
+                        # -- inline requalification for remaining width.
+                        # Guarded on `exited`: after a CTA retire the
+                        # slot may already host a fresh warp; the event
+                        # stepper's `not chosen.finished` check is
+                        # per-object, ours must not read the recycled
+                        # slot. --
+                        if (
+                            not exited
+                            and status_col[slot] == ST_READY
+                            and wake_col[slot] <= cycle
+                        ):
+                            pc = pc_col[slot]
+                            if sb_max[slot] <= cycle:
+                                sb_ok = True
+                            else:
+                                latest = cycle
+                                row = sb_rows[slot]
+                                for reg in kc.regs[pc]:
+                                    r = row[reg]
+                                    if r > latest:
+                                        latest = r
+                                sb_ok = latest <= cycle
+                            if not sb_ok:
+                                stall_col[slot] = SL_SCOREBOARD
+                                wake_col[slot] = latest
+                            elif (
+                                K_LOAD <= kc.kind[pc] <= K_SHARED_LOAD
+                                and memory._in_flight_total >= mem_cap
+                            ):
+                                stall_col[slot] = SL_MEMORY
+                                done = memory.earliest_completion(cycle)
+                                if done is not None:
+                                    wake_col[slot] = done
+                            elif (
+                                tech_can_issue is not None
+                                and not tech_can_issue(
+                                    views[slot], kc.insts[pc], cycle
+                                )
+                            ):
+                                stall_col[slot] = SL_TECHNIQUE
+                            else:
+                                stall_col[slot] = SL_NONE
+                                if multi_issue:
+                                    insort(candidates, chosen)
+                    for item in issued_list:
+                        # -- inline dispose_issued (qstate-guarded,
+                        #    idempotent) --
+                        wid, slot = item
+                        if qstate_col[slot] != QS_READY:
+                            continue  # finished or re-homed same-pass
+                        st = status_col[slot]
+                        if st == ST_READY:
+                            wake = wake_col[slot]
+                            if wake > cycle:  # eager acquire backoff
+                                ready.remove(item)
+                                qstate_col[slot] = QS_SLEEPING
+                                is_mem = stall_col[slot] == SL_MEMORY
+                                if is_mem:
+                                    unit.mem_sleepers += 1
+                                else:
+                                    unit.nonmem_sleepers += 1
+                                    if wake - cycle > MEMORY_STALL_HORIZON:
+                                        heappush(
+                                            unit.far,
+                                            wake - MEMORY_STALL_HORIZON,
+                                        )
+                                heappush(sleepers, (wake, wid, slot, is_mem))
+                        elif st == ST_BARRIER:
+                            ready.remove(item)
+                            qstate_col[slot] = QS_BARRIER
+                            unit.barrier_count += 1
+                        elif st == ST_ACQUIRE:
+                            ready.remove(item)
+                            qstate_col[slot] = QS_ACQUIRE
+                            unit.acquire_count += 1
+                    issued_list.clear()
+                if issued_here == 0:
+                    d_idle += 1
+                    if acquire_count:
+                        d_acq += 1
+                    else:
+                        # Inline sleeper_flags: prune the far heap,
+                        # then the aggregate-count classification.
+                        far = unit.far
+                        while far and far[0] <= cycle:
+                            heappop(far)
+                        far_n = len(far)
+                        if qual_mem or unit.mem_sleepers > 0 or far_n > 0:
+                            d_mem += 1
+                        elif barrier_count:
+                            d_bar += 1
+                        elif qual_sb or unit.nonmem_sleepers > far_n:
+                            d_sb += 1
+
+            if tail_hooks or single_step:
+                stats.instructions_issued += d_issued
+                stats.idle_scheduler_cycles += d_idle
+                stats.stall_memory += d_mem
+                stats.stall_barrier += d_bar
+                stats.stall_scoreboard += d_sb
+                stats.stall_acquire += d_acq
+                stats.resident_warp_cycles += d_res
+                d_issued = d_idle = d_mem = d_bar = d_sb = d_acq = d_res = 0
+                self._last_progress_cycle = last_progress
+                if debug_inv:
+                    tech.check_invariants(cycle)
+                if sanitizer is not None:
+                    sanitizer.on_cycle(self)
+                if observer is not None:
+                    observer.on_cycle(self)
+                if single_step:
+                    return issued_this
+
+            # -- run-loop controls (mirrors the generic run loop) --
+            if issued_this == 0 and (self.ctas_pending or resident_ctas):
+                # Inline fast-forward: same targets as _fast_forward —
+                # memory retired at cycle start, so _next_retire is the
+                # earliest completion verbatim.  The scoreboard target is
+                # ColumnarScoreboard.earliest_ready's lazy heap-peek
+                # (pop stale/superseded entries until a live one), over
+                # the locals already in hand.
+                target = None
+                while sb_heap:
+                    ready_at, hwid, hreg = sb_heap[0]
+                    if ready_at > cycle:
+                        hslot = wid2slot.get(hwid)
+                        if hslot is not None and sb_rows[hslot][hreg] == ready_at:
+                            target = ready_at
+                            break
+                    heappop(sb_heap)
+                mem_t = memory._next_retire
+                if mem_t is not None and (target is None or mem_t < target):
+                    target = mem_t
+                for unit in units:
+                    heap = unit.sleepers
+                    if heap and (target is None or heap[0][0] < target):
+                        target = heap[0][0]
+                if target is None:
+                    stats.instructions_issued += d_issued
+                    stats.idle_scheduler_cycles += d_idle
+                    stats.stall_memory += d_mem
+                    stats.stall_barrier += d_bar
+                    stats.stall_scoreboard += d_sb
+                    stats.stall_acquire += d_acq
+                    stats.resident_warp_cycles += d_res
+                    d_issued = d_idle = d_mem = d_bar = 0
+                    d_sb = d_acq = d_res = 0
+                    self._last_progress_cycle = last_progress
+                    self._fast_forward()  # no targets: raises deadlock
+                    raise AssertionError("unreachable")
+                skip = target - cycle - 1
+                if skip > 0:
+                    cycle += skip
+                    self.cycle = cycle
+                    d_idle += skip * num_sched
+                    d_mem += skip * num_sched
+                    d_res += skip * self._resident_warp_count
+                    if observer is not None:
+                        stats.instructions_issued += d_issued
+                        stats.idle_scheduler_cycles += d_idle
+                        stats.stall_memory += d_mem
+                        stats.stall_barrier += d_bar
+                        stats.stall_scoreboard += d_sb
+                        stats.stall_acquire += d_acq
+                        stats.resident_warp_cycles += d_res
+                        d_issued = d_idle = d_mem = d_bar = 0
+                        d_sb = d_acq = d_res = 0
+                        self._last_progress_cycle = last_progress
+                        observer.on_fast_forward(self, skip)
+            if window and cycle - last_progress > window:
+                stats.instructions_issued += d_issued
+                stats.idle_scheduler_cycles += d_idle
+                stats.stall_memory += d_mem
+                stats.stall_barrier += d_bar
+                stats.stall_scoreboard += d_sb
+                stats.stall_acquire += d_acq
+                stats.resident_warp_cycles += d_res
+                self._last_progress_cycle = last_progress
+                diagnostic = self.diagnostic()
+                if observer is not None:
+                    observer.on_watchdog(self, diagnostic.summary())
+                raise SimulationDeadlockError(
+                    f"SM {self.sm_id} made no forward progress for "
+                    f"{cycle - last_progress} cycles "
+                    f"(watchdog window {window}) — deadlock/livelock; "
+                    f"{diagnostic.summary()}",
+                    diagnostic=diagnostic,
+                )
+            if cycle > max_cycles:
+                stats.instructions_issued += d_issued
+                stats.idle_scheduler_cycles += d_idle
+                stats.stall_memory += d_mem
+                stats.stall_barrier += d_bar
+                stats.stall_scoreboard += d_sb
+                stats.stall_acquire += d_acq
+                stats.resident_warp_cycles += d_res
+                self._last_progress_cycle = last_progress
+                raise CycleLimitExceededError(
+                    f"SM {self.sm_id} exceeded {max_cycles} cycles — "
+                    "runaway kernel (or a livelock below the watchdog's "
+                    "sensitivity)",
+                    diagnostic=self.diagnostic(),
+                )
+            if not resident_ctas and not self.ctas_pending:
+                break
+
+        stats.instructions_issued += d_issued
+        stats.idle_scheduler_cycles += d_idle
+        stats.stall_memory += d_mem
+        stats.stall_barrier += d_bar
+        stats.stall_scoreboard += d_sb
+        stats.stall_acquire += d_acq
+        stats.resident_warp_cycles += d_res
+        self._last_progress_cycle = last_progress
+        stats.cycles = cycle
+        if observer is not None:
+            observer.on_run_end(self)
+        return stats
 
     def _step_scan(self) -> int:
         """Naive reference stepper: scan every resident warp, every cycle.
@@ -642,6 +1310,10 @@ class StreamingMultiprocessor:
             wake = self._engine.earliest_wake()
             if wake is not None:
                 targets.append(wake)
+        elif self._columnar is not None:
+            wake = self._columnar.earliest_wake()
+            if wake is not None:
+                targets.append(wake)
         else:
             for warps in self._warps_by_scheduler:
                 for w in warps:
@@ -675,6 +1347,8 @@ class StreamingMultiprocessor:
         that can never be granted).  Raises
         :class:`CycleLimitExceededError` at the ``max_cycles`` backstop.
         """
+        if self._columnar is not None:
+            return self._run_columnar(max_cycles)
         window = self.config.watchdog_window
         while not self.done:
             issued = self.step()

@@ -24,6 +24,40 @@ class WarpStatus(enum.Enum):
     FINISHED = "finished"            # executed EXIT
 
 
+def resolve_conditional_branch(
+    pc: int,
+    target_pc: int,
+    trip_count: Optional[int],
+    prob: float,
+    trips: dict[int, int],
+    rng: DeterministicRng,
+) -> int:
+    """Direction of a conditional branch at ``pc``: the behavior half of
+    the warp's control flow, shared between :meth:`Warp.resolve_branch_target`
+    and the columnar stepper (``repro.sim.columnar``), which reads the
+    pre-decoded annotations out of :class:`~repro.sim.columnar.KernelColumns`
+    instead of the ``Instruction``.  Both callers must sample the same RNG
+    stream in the same order — keeping the logic in one place is what makes
+    the engines' branch outcomes bit-identical by construction.
+
+    Trip-count-annotated branches iterate deterministically
+    (``trip_count`` taken transfers, then one fall-through, then the
+    counter rearms for outer-loop re-entry).  Probability-annotated
+    branches sample the warp's RNG (only when ``prob > 0.0`` — an
+    unannotated branch must not consume a draw).
+    """
+    if trip_count is not None:
+        remaining = trips.get(pc, trip_count)
+        if remaining > 0:
+            trips[pc] = remaining - 1
+            return target_pc
+        trips[pc] = trip_count
+        return pc + 1
+    if prob > 0.0 and rng.uniform() < prob:
+        return target_pc
+    return pc + 1
+
+
 class Warp:
     """One warp resident on an SM."""
 
@@ -99,17 +133,14 @@ class Warp:
             raise ValueError("resolve_branch_target on a non-branch")
         if not inst.is_conditional_branch:  # JMP
             return self.kernel.label_pc(inst.target)
-        if inst.trip_count is not None:
-            remaining = self._trips_remaining.get(self.pc, inst.trip_count)
-            if remaining > 0:
-                self._trips_remaining[self.pc] = remaining - 1
-                return self.kernel.label_pc(inst.target)
-            self._trips_remaining[self.pc] = inst.trip_count
-            return self.pc + 1
-        prob = inst.taken_probability if inst.taken_probability is not None else 0.0
-        if prob > 0.0 and self.rng.uniform() < prob:
-            return self.kernel.label_pc(inst.target)
-        return self.pc + 1
+        return resolve_conditional_branch(
+            self.pc,
+            self.kernel.label_pc(inst.target),
+            inst.trip_count,
+            inst.taken_probability if inst.taken_probability is not None else 0.0,
+            self._trips_remaining,
+            self.rng,
+        )
 
     def advance(self, next_pc: int) -> None:
         self.pc = next_pc

@@ -83,6 +83,64 @@ class TestCli:
         assert artifact["totals"]["jobs"] == 2
         assert artifact["totals"]["cycles"] > 0
 
+    def test_bench_fail_threshold_gate(self, capsys, tmp_path, monkeypatch):
+        """--fail-threshold turns the baseline comparison into a hard
+        gate: exit 1 + ::error:: on regression, exit 0 otherwise."""
+        import json
+
+        from repro.arch.config import fermi_like
+        from repro.harness import experiments as E
+
+        cfg = fermi_like(
+            name="cli-bench", num_sms=1, max_warps_per_sm=8,
+            max_ctas_per_sm=2, max_threads_per_sm=256,
+            registers_per_sm=8192, dram_latency=60, l1_hit_latency=8,
+        )
+        monkeypatch.setattr(
+            E, "FIGURE_SPECS",
+            {"fig7": lambda: E.fig7_spec(("Gaussian",), cfg)},
+        )
+        cache = str(tmp_path / "c.json")
+        assert main([
+            "--cache", cache, "bench",
+            "--label", "gate", "--artifact-dir", str(tmp_path),
+        ]) == 0
+        artifact = json.loads((tmp_path / "BENCH_gate.json").read_text())
+
+        # A baseline no machine can match: the gate must trip.
+        fast = dict(artifact, totals=dict(
+            artifact["totals"], cycles_per_sec=1e18))
+        (tmp_path / "BENCH_fast.json").write_text(json.dumps(fast))
+        capsys.readouterr()
+        # Fresh caches below: a fully-cached session has no throughput
+        # number and the gate (correctly) fails it as inconclusive.
+        assert main([
+            "--cache", str(tmp_path / "c2.json"), "bench", "--no-artifact",
+            "--baseline", str(tmp_path / "BENCH_fast.json"),
+            "--fail-threshold", "50",
+        ]) == 1
+        assert "::error::" in capsys.readouterr().out
+
+        # A floor baseline: any run clears it, the gate stays quiet.
+        slow = dict(artifact, totals=dict(
+            artifact["totals"], cycles_per_sec=0.001))
+        (tmp_path / "BENCH_slow.json").write_text(json.dumps(slow))
+        assert main([
+            "--cache", str(tmp_path / "c3.json"), "bench", "--no-artifact",
+            "--baseline", str(tmp_path / "BENCH_slow.json"),
+            "--fail-threshold", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "::error::" not in out
+        assert "throughput ok" in out
+
+        with pytest.raises(ValueError):
+            main([
+                "--cache", cache, "bench", "--no-artifact",
+                "--baseline", str(tmp_path / "BENCH_slow.json"),
+                "--fail-threshold", "-1",
+            ])
+
     def test_run_single_app(self, capsys, tmp_path):
         # Mini end-to-end through the CLI; uses the real GTX480 but the
         # smallest app and the cache keeps re-runs free.

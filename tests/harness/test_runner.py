@@ -149,6 +149,50 @@ class TestCacheKeyStability:
         assert runner.cache_hits == 1
 
 
+class TestCacheKeyHygiene:
+    """Timing-neutral knobs — engine selection and the sanitizer
+    family — must never perturb v6 fingerprints: flipping them on a
+    cached experiment must hit the same record, not orphan it."""
+
+    def test_neutral_fields_are_real_config_fields(self):
+        import dataclasses
+
+        from repro.arch.config import GpuConfig
+        from repro.harness.runner import _TIMING_NEUTRAL_CONFIG_FIELDS
+
+        names = {f.name for f in dataclasses.fields(GpuConfig)}
+        assert _TIMING_NEUTRAL_CONFIG_FIELDS <= names
+
+    def test_engine_and_sanitizer_knobs_do_not_move_the_key(self, cfg):
+        import dataclasses
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        kernel = straightline_kernel()
+        base_key = runner.key_for(kernel, cfg, BaselineTechnique())
+        for overrides in (
+            {"issue_engine": "scan"},
+            {"issue_engine": "event"},
+            {"issue_engine": "columnar"},
+            {"sanitizer": True},
+            {"sanitizer_stride": 64},
+            {"issue_engine": "columnar", "sanitizer": True,
+             "sanitizer_stride": 7},
+        ):
+            flipped = dataclasses.replace(cfg, **overrides)
+            assert runner.key_for(kernel, flipped, BaselineTechnique()) == \
+                base_key, overrides
+
+    def test_columnar_run_hits_event_runs_cache(self, cfg):
+        import dataclasses
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        kernel = straightline_kernel()
+        runner.run(kernel, dataclasses.replace(cfg, issue_engine="event"),
+                   BaselineTechnique())
+        runner.run(kernel, dataclasses.replace(cfg, issue_engine="columnar"),
+                   BaselineTechnique())
+        assert runner.cache_misses == 1
+        assert runner.cache_hits == 1
+
+
 class TestCacheFormatContract:
     """The on-disk cache format must stay loadable across sessions: every
     RunRecord field is JSON-serializable and the loader tolerates extra

@@ -1,12 +1,14 @@
-"""Wake-queue hygiene: the event-driven issue engine vs the scan oracle.
+"""Issue-engine identity: scan oracle vs event engine vs columnar core.
 
-The event engine's contract is *bit-identity* with the retained naive
+Every issue engine's contract is *bit-identity* with the retained naive
 reference stepper: same final cycle count and same ``SmStats`` down to
 each stall counter, for any kernel, technique, scheduler policy, and
 issue width.  The property test here throws randomized generator
-kernels at that contract; the staleness tests pin the two transition
+kernels at that 3-way contract; the staleness tests pin the transition
 paths where an event could plausibly be lost (a CTA retiring while
-other warps sleep, an acquire wakeup handed off past a finished warp).
+other warps sleep, an acquire wakeup handed off past a finished warp);
+the column-view tests cover the columnar store's own hazards — slot
+recycling after CTA retirement and the qstate/status mask invariants.
 """
 
 from __future__ import annotations
@@ -118,9 +120,9 @@ def _acquire_kernel(work: int = 6):
     return b.build().with_metadata(base_set_size=2, extended_set_size=2)
 
 
-def _run_sm(kernel, config, state_factory, ctas_resident, total_ctas):
+def _make_sm(kernel, config, state_factory, ctas_resident, total_ctas):
     stats = SmStats()
-    sm = StreamingMultiprocessor(
+    return StreamingMultiprocessor(
         sm_id=0,
         config=config,
         kernel=kernel,
@@ -130,6 +132,10 @@ def _run_sm(kernel, config, state_factory, ctas_resident, total_ctas):
         rng=DeterministicRng(7),
         stats=stats,
     )
+
+
+def _run_sm(kernel, config, state_factory, ctas_resident, total_ctas):
+    sm = _make_sm(kernel, config, state_factory, ctas_resident, total_ctas)
     sm.run()
     return sm
 
@@ -151,7 +157,25 @@ def _assert_engine_drained(sm):
         assert unit.acquire_count == 0
 
 
-def _both_engines(kernel, config, state_factory, ctas_resident, total_ctas):
+def _assert_columnar_drained(sm):
+    """Post-run hygiene for the columnar core: structures empty, every
+    slot released (wid -1, qstate OUT) — a stale entry means a slot
+    leaked through the CTA retire path."""
+    core = sm._columnar
+    assert core is not None
+    core.check_hygiene()
+    for unit in core.units:
+        assert unit.ready == []
+        assert unit.sleepers == []
+        assert unit.barrier_count == 0
+        assert unit.acquire_count == 0
+    assert core.wid2slot == {}
+    assert all(wid == -1 for wid in core.wid)
+    assert all(qs == QS_OUT for qs in core.qstate)
+
+
+def _all_engines(kernel, config, state_factory, ctas_resident, total_ctas):
+    """Outcomes for (event, scan, columnar), hygiene-checked."""
     event = _run_sm(
         kernel, dataclasses.replace(config, issue_engine="event"),
         state_factory, ctas_resident, total_ctas,
@@ -160,8 +184,13 @@ def _both_engines(kernel, config, state_factory, ctas_resident, total_ctas):
         kernel, dataclasses.replace(config, issue_engine="scan"),
         state_factory, ctas_resident, total_ctas,
     )
+    columnar = _run_sm(
+        kernel, dataclasses.replace(config, issue_engine="columnar"),
+        state_factory, ctas_resident, total_ctas,
+    )
     _assert_engine_drained(event)
-    return _outcome(event), _outcome(scan)
+    _assert_columnar_drained(columnar)
+    return _outcome(event), _outcome(scan), _outcome(columnar)
 
 
 class TestEngineIdentityProperty:
@@ -170,19 +199,19 @@ class TestEngineIdentityProperty:
     def test_random_kernels_identical(self, seed, policy):
         kernel = _random_kernel(seed)
         config = _config(scheduler_policy=policy)
-        event, scan = _both_engines(
+        event, scan, columnar = _all_engines(
             kernel, config, SmTechniqueState, ctas_resident=2, total_ctas=5
         )
-        assert event == scan
+        assert event == scan == columnar
 
     @pytest.mark.parametrize("seed", range(4))
     def test_multi_issue_width_identical(self, seed):
         kernel = _random_kernel(seed + 100)
         config = _config(issue_width_per_scheduler=2)
-        event, scan = _both_engines(
+        event, scan, columnar = _all_engines(
             kernel, config, SmTechniqueState, ctas_resident=2, total_ctas=4
         )
-        assert event == scan
+        assert event == scan == columnar
 
     @pytest.mark.parametrize("retry_policy", ["wakeup", "eager"])
     def test_contended_acquire_identical(self, retry_policy):
@@ -195,10 +224,10 @@ class TestEngineIdentityProperty:
                 k, c, s, num_sections=1, retry_policy=retry_policy
             )
 
-        event, scan = _both_engines(
+        event, scan, columnar = _all_engines(
             kernel, _config(), make_state, ctas_resident=3, total_ctas=6
         )
-        assert event == scan
+        assert event == scan == columnar
         assert event[1]["acquire_attempts"] > event[1]["acquire_successes"]
 
     def test_lrr_contended_acquire_identical(self):
@@ -207,11 +236,11 @@ class TestEngineIdentityProperty:
         def make_state(k, c, s):
             return RegMutexSmState(k, c, s, num_sections=1)
 
-        event, scan = _both_engines(
+        event, scan, columnar = _all_engines(
             kernel, _config(scheduler_policy="lrr"), make_state,
             ctas_resident=3, total_ctas=5,
         )
-        assert event == scan
+        assert event == scan == columnar
 
 
 class TestStalenessPaths:
@@ -228,10 +257,10 @@ class TestStalenessPaths:
         b.exit()
         kernel = b.build()
         config = _config(l1_hit_rate=0.0, dram_latency=200)
-        event, scan = _both_engines(
+        event, scan, columnar = _all_engines(
             kernel, config, SmTechniqueState, ctas_resident=3, total_ctas=7
         )
-        assert event == scan
+        assert event == scan == columnar
 
     def test_acquire_wakeup_handoff(self):
         """A warp that finishes while holding an unconsumed wakeup must
@@ -346,3 +375,166 @@ class TestQueueUnit:
         assert unit.barrier_count == 1 and unit.acquire_count == 1
         assert unit.sleeping_warps() == 1
         unit.check_hygiene()
+
+
+class TestColumnarViews:
+    """Unit coverage for the columnar store's own hazards: slot
+    recycling across CTA waves, view detach semantics, the qstate/
+    status mask invariants while CTAs retire mid-run, and the bulk-read
+    paths (probe histogram, SRP occupancy export) agreeing with the
+    object walks they replaced."""
+
+    def _core(self):
+        from repro.sim.columnar import ColumnarCore
+        from repro.sim.scheduler import GtoScheduler
+
+        return ColumnarCore([GtoScheduler(0)], _config())
+
+    def test_slot_recycling_resets_every_column(self):
+        from repro.sim.columnar import SL_NONE, ST_READY
+
+        core = self._core()
+        kernel = straightline_kernel()
+        slot = 3
+        first = core.new_warp(0, 0, kernel, DeterministicRng(1), slot=slot)
+        # Dirty every column the next tenant could observe.
+        first.pc = 5
+        first.wake_cycle = 99
+        first.dynamic_instructions = 7
+        first.stalled_on = "memory"
+        first.holds_extended_set = True
+        core.sb_rows[slot][0] = 500
+        core.sb_max[slot] = 500
+        first.finish()
+        core.release_warp(first)
+        assert core.wid[slot] == -1
+        assert core.qstate[slot] == QS_OUT
+        assert 0 not in core.wid2slot
+
+        second = core.new_warp(9, 1, kernel, DeterministicRng(2), slot=slot)
+        assert core.wid[slot] == 9 and core.wid2slot[9] == slot
+        assert core.pc[slot] == 0 and core.wake[slot] == 0
+        assert core.dyn[slot] == 0
+        assert core.status[slot] == ST_READY
+        assert core.stall[slot] == SL_NONE
+        assert core.holds[slot] is False
+        # The previous tenant's pending writes must not leak through.
+        assert core.sb_max[slot] == 0
+        assert all(ready == 0 for ready in core.sb_rows[slot])
+        assert second.pc == 0 and second.status is WarpStatus.READY
+        core.check_hygiene()
+
+    def test_detached_view_keeps_final_state(self):
+        """release_warp must freeze the view at its final column values:
+        a retired CTA's warps stay readable (diagnostics, stats) without
+        aliasing the slot's next tenant."""
+        core = self._core()
+        kernel = straightline_kernel()
+        first = core.new_warp(0, 0, kernel, DeterministicRng(1), slot=0)
+        first.pc = 5
+        first.wake_cycle = 99
+        first.dynamic_instructions = 7
+        first.holds_extended_set = True
+        first.finish()
+        core.release_warp(first)
+
+        second = core.new_warp(9, 1, kernel, DeterministicRng(2), slot=0)
+        second.pc = 2
+        second.wake_cycle = 11
+        assert first.pc == 5
+        assert first.wake_cycle == 99
+        assert first.dynamic_instructions == 8  # finish() counts the EXIT
+        assert first.status is WarpStatus.FINISHED
+        assert first.holds_extended_set is True
+        assert second.pc == 2 and second.wake_cycle == 11
+
+    def test_mask_invariants_hold_across_cta_retires(self):
+        """Step a multi-wave run one cycle at a time, checking the
+        column invariants after every cycle: freed slots must read
+        ``wid == -1`` / ``QS_OUT`` the moment their CTA retires, and
+        recycled slots must host their new tenant cleanly.  Also pins
+        single-step == batched-run identity for the columnar engine."""
+        kernel = _random_kernel(0)
+        config = dataclasses.replace(_config(), issue_engine="columnar")
+        sm = _make_sm(kernel, config, SmTechniqueState,
+                      ctas_resident=2, total_ctas=5)
+        core = sm._columnar
+        tenants: dict[int, set[int]] = {}
+        while not sm.done:
+            issued = sm.step()
+            for slot in range(core.capacity):
+                wid = core.wid[slot]
+                if wid >= 0:
+                    tenants.setdefault(slot, set()).add(wid)
+            core.check_hygiene()
+            if issued == 0 and not sm.done:
+                sm._fast_forward()
+            assert sm.cycle < 200_000, "stepped run diverged"
+        assert any(len(wids) >= 2 for wids in tenants.values()), (
+            "no slot was ever recycled — the scenario lost its teeth"
+        )
+        _assert_columnar_drained(sm)
+        sm.stats.cycles = sm.cycle  # run()'s epilogue, by hand
+        batched = _run_sm(kernel, config, SmTechniqueState,
+                          ctas_resident=2, total_ctas=5)
+        assert _outcome(sm) == _outcome(batched)
+
+    def test_probe_counts_matches_object_walk(self):
+        """The probes' vectorized histogram must count exactly what the
+        per-warp object walk counted, at every sampled cycle of a run
+        with barriers, retires, and live-register churn."""
+        kernel = _random_kernel(1)
+        config = dataclasses.replace(_config(), issue_engine="columnar")
+        sm = _make_sm(kernel, config, SmTechniqueState,
+                      ctas_resident=2, total_ctas=5)
+        core = sm._columnar
+        checked = 0
+        while not sm.done:
+            issued = sm.step()
+            expected = [0, 0, 0, 0, 0, 0]
+            for cta in sm.resident_ctas:
+                for w in cta.warps:
+                    status = w.status
+                    if status is WarpStatus.FINISHED:
+                        continue
+                    expected[3] += 1
+                    if status is WarpStatus.READY:
+                        expected[0] += 1
+                    elif status is WarpStatus.AT_BARRIER:
+                        expected[1] += 1
+                    elif status is WarpStatus.WAITING_ACQUIRE:
+                        expected[2] += 1
+                    md = w.kernel.metadata
+                    expected[5] += md.base_set_size or md.regs_per_thread
+                    if w.holds_extended_set:
+                        expected[4] += 1
+                        expected[5] += md.extended_set_size or 0
+            assert core.probe_counts() == tuple(expected)
+            checked += 1
+            if issued == 0 and not sm.done:
+                sm._fast_forward()
+            assert sm.cycle < 200_000, "stepped run diverged"
+        assert checked > 0
+
+    def test_srp_occupancy_columns_track_acquire_release(self):
+        from repro.regmutex.srp import SharedRegisterPool
+
+        srp = SharedRegisterPool(max_warps=8, num_sections=2)
+        cols = srp.occupancy_columns()
+        assert not any(cols["holds"])
+        assert all(entry == -1 for entry in cols["section"])
+        # Unaddressable sections (beyond num_sections) are born taken.
+        assert list(cols["taken"]) == [False] * 2 + [True] * 6
+
+        section = srp.acquire(3)
+        cols = srp.occupancy_columns()
+        assert [bool(h) for h in cols["holds"]] == [
+            slot == 3 for slot in range(8)
+        ]
+        assert cols["section"][3] == section
+        assert cols["taken"][section]
+
+        srp.release(3)
+        cols = srp.occupancy_columns()
+        assert not any(cols["holds"])
+        assert not any(cols["taken"][:2])
