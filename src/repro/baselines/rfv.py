@@ -87,6 +87,22 @@ class RfvSmState(SmTechniqueState):
         if self._reserve_holder == warp.warp_id:
             self._reserve_holder = None
 
+    def state_snapshot(self) -> dict:
+        return {
+            "pool_free": self.pool_free,
+            "allocated": {str(w): h for w, h in self._allocated.items()},
+            "peak_pool_use": self.peak_pool_use,
+            "reserve_holder": self._reserve_holder,
+        }
+
+    def state_restore(self, payload: dict, warps_by_id: dict[int, Warp]) -> None:
+        self.pool_free = payload["pool_free"]
+        self._allocated = {
+            int(w): h for w, h in payload["allocated"].items()
+        }
+        self.peak_pool_use = payload["peak_pool_use"]
+        self._reserve_holder = payload["reserve_holder"]
+
 
 class RfvTechnique(SharingTechnique):
     """Register file virtualization with dead-value reclamation."""

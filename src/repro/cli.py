@@ -52,6 +52,7 @@ from pathlib import Path
 from repro.arch.config import GTX480
 from repro.baselines.owf import OwfTechnique, owf_priority
 from repro.baselines.rfv import RfvTechnique
+from repro.errors import InterruptedRun
 from repro.harness import experiments as E
 from repro.harness.orchestrator import Orchestrator
 from repro.harness.reporting import (
@@ -159,6 +160,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip-harness", action="store_true",
         help="skip the orchestrator/worker-pool scenarios "
              "(they spawn real processes and take a few seconds)",
+    )
+    faults.add_argument(
+        "--kill-mid-run", action="store_true",
+        help="also run the crash-safety probe: SIGKILL a worker at a "
+             "deterministic cycle and require the retry to resume from "
+             "the surviving checkpoint bit-identically "
+             "(implies the harness scenarios)",
     )
 
     check = sub.add_parser(
@@ -431,10 +439,12 @@ def _cmd_faults(args) -> int:
     """Run the fault-injection campaign; exit 1 if anything escapes."""
     from repro.faults.campaign import campaign_table, run_campaign
 
+    include_harness = not args.skip_harness or args.kill_mid_run
     outcomes = run_campaign(
         seed=args.seed,
-        include_harness=not args.skip_harness,
+        include_harness=include_harness,
         workers=max(2, args.workers),
+        include_kill_mid_run=args.kill_mid_run,
     )
     print(campaign_table(outcomes))
     return 1 if any(o.escaped for o in outcomes) else 0
@@ -607,12 +617,19 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_check(args)
     if args.command == "profile":
         return _cmd_profile(args)
-    with ExperimentRunner(cache_path=args.cache) as runner:
-        if args.command == "run":
-            return _cmd_run(args, runner)
-        if args.command == "bench":
-            return _cmd_bench(args, runner)
-        return _cmd_experiment(args.command, args, runner)
+    try:
+        with ExperimentRunner(cache_path=args.cache) as runner:
+            if args.command == "run":
+                return _cmd_run(args, runner)
+            if args.command == "bench":
+                return _cmd_bench(args, runner)
+            return _cmd_experiment(args.command, args, runner)
+    except InterruptedRun as exc:
+        # Ctrl-C mid-campaign: the orchestrator has already cancelled
+        # outstanding work and flushed completed records to the cache,
+        # so a re-run picks up where this one stopped.
+        print(f"interrupted: {exc.summary()}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -154,3 +154,68 @@ class SanitizerError(SimulationError):
 class FaultInjectionError(RuntimeError):
     """A fault campaign was misconfigured (unknown fault kind, no
     injection site in the target kernel)."""
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint save/restore failures.
+
+    Deliberately *not* a :class:`SimulationError`: a bad checkpoint
+    says nothing about the determinism of the underlying job, so the
+    harness treats it as "fall back to a fresh run", never as a
+    non-retryable simulation verdict.
+    """
+
+    kind = "checkpoint"
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The checkpoint file is unreadable or fails its content checksum
+    (torn write, truncation, bit-rot)."""
+
+    kind = "checkpoint-corrupt"
+
+
+class CheckpointSchemaError(CheckpointError):
+    """The checkpoint parses but cannot be resumed: wrong schema
+    version, or it describes a different (kernel, config, technique)
+    context than the one being restored into."""
+
+    kind = "checkpoint-schema"
+
+
+class CheckpointEngineMismatchError(CheckpointSchemaError):
+    """The checkpoint was captured under a different ``issue_engine``.
+
+    The engines are bit-identical over whole runs, but their in-flight
+    queue representations differ; resuming across engines is refused
+    rather than approximated.
+    """
+
+    kind = "checkpoint-engine-mismatch"
+
+
+class InterruptedRun(RuntimeError):
+    """The operator interrupted an orchestrated batch (SIGINT).
+
+    Carries enough for a typed summary instead of a raw traceback:
+    how much of the batch completed, and whether the cache and
+    telemetry were flushed before unwinding.
+    """
+
+    kind = "interrupted"
+
+    def __init__(
+        self, message: str, completed: int = 0, total: int = 0,
+        flushed: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.completed = completed
+        self.total = total
+        self.flushed = flushed
+
+    def summary(self) -> str:
+        state = "flushed" if self.flushed else "NOT flushed"
+        return (
+            f"interrupted: {self.completed}/{self.total} jobs completed, "
+            f"cache {state}"
+        )

@@ -39,7 +39,12 @@ from repro.errors import (
     SimulationDeadlockError,
     SimulationError,
 )
-from repro.faults.injector import FaultSpec, FaultingRegMutexTechnique, corrupt_cache_file
+from repro.faults.injector import (
+    FaultSpec,
+    FaultingRegMutexTechnique,
+    corrupt_cache_file,
+    corrupt_checkpoint_file,
+)
 from repro.harness.orchestrator import Orchestrator
 from repro.harness.runner import ExperimentRunner, RunRecord
 from repro.harness.spec import JobFailure, JobSpec, TechniqueSpec
@@ -224,6 +229,192 @@ def _sim_scenarios(seed: int) -> list[FaultOutcome]:
     ]
 
 
+# -- checkpoint-layer scenarios ----------------------------------------------------
+def _plain_kernel() -> Kernel:
+    """An uninstrumented compute kernel for the checkpoint scenarios
+    (baseline technique — no acquire/release, so the fault surface is
+    purely the checkpoint machinery)."""
+    b = KernelBuilder(name="ckpt-probe", regs_per_thread=8, threads_per_cta=64)
+    for reg in range(4):
+        b.ldc(reg)
+    b.alu(4, 0, 1)
+    b.alu(5, 2, 3)
+    b.alu(6, 4, 5)
+    b.store(0, 6)
+    b.exit()
+    return b.build()
+
+
+def _checkpoint_scenarios(seed: int, workdir: str) -> list[FaultOutcome]:
+    """Damage a surviving checkpoint; resume must classify and fall back.
+
+    The surviving checkpoint is produced the way a real crash produces
+    one: a checkpointing launch is cut off mid-run (here by the cycle
+    limit standing in for SIGKILL), leaving its periodic snapshot on
+    disk because the completion cleanup never ran.
+    """
+    from repro.sim.checkpoint import checkpoint_path
+
+    kernel = _plain_kernel()
+    ref = Gpu(CAMPAIGN_CONFIG, BaselineTechnique(), seed=seed).launch(
+        kernel, grid_ctas=8
+    )
+    interval = max(10, ref.cycles // 4)
+    outcomes = []
+    for kind in ("checkpoint-truncate", "checkpoint-corrupt"):
+        ckpt_dir = os.path.join(workdir, kind)
+        os.makedirs(ckpt_dir, exist_ok=True)
+        try:
+            Gpu(CAMPAIGN_CONFIG, BaselineTechnique(), seed=seed).launch(
+                kernel, grid_ctas=8,
+                max_cycles=interval * 2,  # "crash" after >=1 checkpoint
+                checkpoint_dir=ckpt_dir, checkpoint_interval=interval,
+            )
+            raise AssertionError("truncated run unexpectedly completed")
+        except CycleLimitExceededError:
+            pass
+        path = checkpoint_path(ckpt_dir, total_ctas=8)
+        corrupt_checkpoint_file(path, kind, seed=seed)
+        report: dict = {}
+        result = Gpu(CAMPAIGN_CONFIG, BaselineTechnique(), seed=seed).launch(
+            kernel, grid_ctas=8,
+            checkpoint_dir=ckpt_dir, checkpoint_interval=interval,
+            resume_report=report,
+        )
+        fallback = report.get("fallback", {}).get(8, "")
+        classified = "CheckpointCorruptError" in fallback
+        identical = result.stats == ref.stats
+        detected = classified and identical and not report.get("resumed")
+        outcomes.append(FaultOutcome(
+            f"{kind}/fallback", kind, "checkpoint",
+            detected=detected,
+            detector="checkpoint-validation" if detected else "",
+            cycles=None,
+            detail=(
+                "classified, discarded, recomputed bit-identically"
+                if detected else
+                f"classified={classified} identical={identical} "
+                f"resumed={report.get('resumed')}"
+            ),
+        ))
+    return outcomes
+
+
+# -- cache-concurrency scenario ----------------------------------------------------
+def _concurrent_cache_worker(
+    path: str, worker_id: int, entries: int, seed: int
+) -> int:
+    """Pool entry point: compute ``entries`` distinct records against a
+    shared cache file, flushing after every one for maximal collision
+    pressure on the journal/lock protocol."""
+    runner = ExperimentRunner(target_ctas_per_sm=2, seed=seed, cache_path=path)
+    kernel = _plain_kernel()
+    for i in range(entries):
+        config = dataclasses.replace(
+            CAMPAIGN_CONFIG, name=f"ccw-{worker_id}-{i}"
+        )
+        runner.run(kernel, config, BaselineTechnique())
+        runner.flush()
+    return entries
+
+
+def _concurrent_cache_scenario(
+    seed: int, workdir: str, writers: int = 2, entries: int = 3
+) -> FaultOutcome:
+    """Hammer one cache path from several processes at once.
+
+    Every writer journals and flushes its own records concurrently; the
+    advisory lock + write-ahead journal must deliver all of them into
+    the final cache file with valid checksums — no lost entries, no
+    quarantine, no torn file.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    path = os.path.join(workdir, "concurrent-cache.json")
+    expected = writers * entries
+    with ProcessPoolExecutor(max_workers=writers) as pool:
+        futures = [
+            pool.submit(_concurrent_cache_worker, path, wid, entries, seed)
+            for wid in range(writers)
+        ]
+        written = sum(f.result() for f in futures)
+    survivor = ExperimentRunner(target_ctas_per_sm=2, seed=seed, cache_path=path)
+    intact = len(survivor._memo)
+    clean = survivor.quarantined_entries == 0
+    detected = written == expected and intact == expected and clean
+    return FaultOutcome(
+        "cache-concurrent-writer/stress", "cache-concurrent-writer", "cache",
+        detected=detected,
+        detector="journal-lock" if detected else "",
+        cycles=None,
+        detail=(
+            f"{expected}/{expected} records intact after "
+            f"{writers}-writer collision"
+            if detected else
+            f"wrote {written}, reloaded {intact}, "
+            f"quarantined {survivor.quarantined_entries}"
+        ),
+    )
+
+
+# -- kill-mid-run scenario ---------------------------------------------------------
+def _kill_mid_run_scenario(
+    seed: int, workers: int, workdir: str
+) -> FaultOutcome:
+    """SIGKILL a worker at a deterministic cycle; resume must finish the
+    job bit-identically to an undisturbed baseline run."""
+    ref_job = JobSpec(
+        app="Gaussian", config=HARNESS_CONFIG,
+        technique=TechniqueSpec("baseline"),
+    )
+    ref_orch = Orchestrator(
+        ExperimentRunner(target_ctas_per_sm=2, seed=seed), workers=1
+    )
+    ref = ref_orch.run_jobs([ref_job])[ref_job]
+
+    kill_cycle = max(200, ref.cycles // 2)
+    interval = max(50, kill_cycle // 3)
+    marker = os.path.join(workdir, "kill-mid-run.marker")
+    ckpt_dir = os.path.join(workdir, "kill-mid-run-ckpts")
+    job = JobSpec(
+        app="Gaussian", config=HARNESS_CONFIG,
+        technique=TechniqueSpec.of(
+            "kill-mid-run", kill_cycle=kill_cycle, marker_path=marker
+        ),
+    )
+    orch = Orchestrator(
+        ExperimentRunner(target_ctas_per_sm=2, seed=seed),
+        workers=max(2, workers), max_retries=2, retry_backoff=0.01,
+        checkpoint_dir=ckpt_dir, checkpoint_interval=interval,
+    )
+    result = orch.run_jobs([job])[job]
+    recovered = isinstance(result, RunRecord)
+    retried = orch.telemetry.retries >= 1
+    resumed = orch.telemetry.resumed_jobs >= 1
+    identical = recovered and (
+        dataclasses.replace(result, technique=ref.technique) == ref
+    )
+    detected = recovered and retried and resumed and identical
+    resumed_cycle = next(
+        (t.resumed_from_cycle for t in orch.telemetry.timings
+         if t.resumed_from_cycle is not None),
+        None,
+    )
+    return FaultOutcome(
+        "kill-mid-run/resume", "kill-mid-run", "harness",
+        detected=detected,
+        detector="checkpoint-resume" if detected else "",
+        cycles=resumed_cycle,
+        detail=(
+            f"SIGKILL at cycle {kill_cycle} absorbed; resumed from cycle "
+            f"{resumed_cycle}, result bit-identical to undisturbed run"
+            if detected else
+            f"recovered={recovered} retried={retried} resumed={resumed} "
+            f"identical={identical}"
+        ),
+    )
+
+
 # -- harness-layer scenarios -------------------------------------------------------
 def _harness_scenarios(seed: int, workers: int, workdir: str) -> list[FaultOutcome]:
     outcomes = []
@@ -364,19 +555,31 @@ def run_campaign(
     seed: int = 2018,
     include_harness: bool = True,
     workers: int = 2,
+    include_kill_mid_run: bool = False,
 ) -> list[FaultOutcome]:
     """Run the full campaign; returns one :class:`FaultOutcome` per scenario.
 
     ``include_harness=False`` skips the orchestrator/pool scenarios
     (which spawn real worker processes and take a few seconds) — the
-    simulator and cache layers alone run in well under a second.
+    simulator, checkpoint, and cache layers alone run in well under a
+    second.  ``include_kill_mid_run`` adds the SIGKILL-at-cycle
+    checkpoint/resume scenario (``repro faults --kill-mid-run``): the
+    heaviest probe — it deliberately kills a pool worker and proves the
+    retry resumes bit-identically — so it is opt-in on top of
+    ``include_harness``.
     """
     outcomes = _sim_scenarios(seed)
     workdir = tempfile.mkdtemp(prefix="regmutex-faults-")
     try:
+        outcomes.extend(_checkpoint_scenarios(seed, workdir))
         outcomes.extend(_cache_scenarios(seed, workdir))
+        outcomes.append(_concurrent_cache_scenario(seed, workdir))
         if include_harness:
             outcomes.extend(_harness_scenarios(seed, workers, workdir))
+            if include_kill_mid_run:
+                outcomes.append(
+                    _kill_mid_run_scenario(seed, workers, workdir)
+                )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     return outcomes

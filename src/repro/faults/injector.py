@@ -27,6 +27,18 @@ Fault kinds (see :data:`FAULT_KINDS`):
 * ``cache-truncate`` / ``cache-garbage`` / ``cache-poison-entry`` —
   on-disk cache damage via :func:`corrupt_cache_file`, caught by the
   runner's checksum validation and quarantine.
+* ``kill-mid-run`` — a worker is SIGKILLed at a deterministic
+  simulation cycle via :class:`KillMidRunTechnique`; with periodic
+  checkpointing armed, the orchestrator's retry must *resume* from the
+  surviving checkpoint and finish bit-identical to an undisturbed run.
+* ``checkpoint-truncate`` / ``checkpoint-corrupt`` — a checkpoint file
+  is cut short or its payload altered under an unchanged checksum
+  (:func:`corrupt_checkpoint_file`); resume must classify the damage
+  (:class:`repro.errors.CheckpointCorruptError`) and fall back to a
+  fresh, bit-identical run — never resume silently from bad state.
+* ``cache-concurrent-writer`` — multiple processes hammer one result
+  cache; the journal + advisory-lock protocol must lose no entry and
+  corrupt none.
 
 Every injection site is an *event ordinal* (the Nth release, the Nth
 acquire attempt), not a wall-clock or cycle trigger, so a campaign is
@@ -36,6 +48,7 @@ bit-reproducible under a seed.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass, replace
 
@@ -45,7 +58,7 @@ from repro.isa.instructions import Instruction, Opcode
 from repro.isa.kernel import Kernel
 from repro.regmutex.issue_logic import RegMutexSmState, RegMutexTechnique
 from repro.sim.stats import SmStats
-from repro.sim.technique import BaselineTechnique
+from repro.sim.technique import BaselineTechnique, SmTechniqueState
 from repro.sim.warp import Warp
 
 
@@ -79,6 +92,14 @@ FAULT_KINDS: dict[str, FaultKind] = {
                   "the cache file is overwritten with non-JSON bytes"),
         FaultKind("cache-poison-entry", "cache",
                   "one cache record is altered without its checksum"),
+        FaultKind("kill-mid-run", "harness",
+                  "a worker is SIGKILLed at a deterministic sim cycle"),
+        FaultKind("checkpoint-truncate", "checkpoint",
+                  "a checkpoint file is cut short mid-write"),
+        FaultKind("checkpoint-corrupt", "checkpoint",
+                  "checkpoint payload altered under an unchanged checksum"),
+        FaultKind("cache-concurrent-writer", "cache",
+                  "concurrent processes collide on one result cache"),
     )
 }
 
@@ -231,6 +252,22 @@ class FaultingRegMutexState(RegMutexSmState):
         }
         return snapshot
 
+    def state_snapshot(self) -> dict:
+        payload = super().state_snapshot()
+        payload["fault_counters"] = {
+            "releases_seen": self._releases_seen,
+            "acquires_seen": self._acquires_seen,
+            "fired_at": self.fault_fired_at,
+        }
+        return payload
+
+    def state_restore(self, payload: dict, warps_by_id) -> None:
+        super().state_restore(payload, warps_by_id)
+        counters = payload["fault_counters"]
+        self._releases_seen = counters["releases_seen"]
+        self._acquires_seen = counters["acquires_seen"]
+        self.fault_fired_at = counters["fired_at"]
+
 
 class FaultingRegMutexTechnique(RegMutexTechnique):
     """RegMutex with a fault armed — the campaign's simulator entry.
@@ -335,6 +372,92 @@ class FaultyWorkerTechnique(BaselineTechnique):
         elif self.mode == "worker-sleep" and self.delay_seconds > 0:
             time.sleep(self.delay_seconds)
         return kernel
+
+
+# -- kill-mid-run: a worker that dies at a deterministic cycle ---------------------
+class _KillMidRunState(SmTechniqueState):
+    """Baseline-identical issue state that SIGKILLs its own process.
+
+    The kill fires on the first ``can_issue`` probe at or past
+    ``kill_cycle`` — a deterministic point in a deterministic
+    simulation — unless the marker file exists (the retried worker
+    writes nothing and runs clean, so recovery is provable).  SIGKILL,
+    not an exception: nothing crosses the pipe, the pool only sees a
+    dead process, exactly like an OOM kill landing mid-simulation.
+    """
+
+    def __init__(self, *args, kill_cycle: int, marker_path: str, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.kill_cycle = kill_cycle
+        self.marker_path = marker_path
+
+    def can_issue(self, warp: Warp, inst, cycle: int) -> bool:
+        if cycle >= self.kill_cycle and not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w") as fh:
+                fh.write(f"{os.getpid()} killed at cycle {cycle}")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().can_issue(warp, inst, cycle)
+
+
+class KillMidRunTechnique(BaselineTechnique):
+    """Baseline occupancy and timing, plus one mid-run SIGKILL.
+
+    Used by the kill-mid-run campaign: the first dispatch dies at
+    ``kill_cycle`` (after the periodic checkpointer has flushed at
+    least once), the marker file lets the retry finish, and the final
+    record must be bit-identical to a plain baseline run — the whole
+    point of checkpoint/resume.
+    """
+
+    name = "kill-mid-run"
+
+    def __init__(self, kill_cycle: int = 0, marker_path: str = "") -> None:
+        if kill_cycle > 0 and not marker_path:
+            raise FaultInjectionError(
+                "kill-mid-run with a positive kill_cycle requires a "
+                "marker_path, or every retry dies identically"
+            )
+        self.kill_cycle = kill_cycle
+        self.marker_path = marker_path
+
+    def make_sm_state(
+        self, kernel: Kernel, config: GpuConfig, stats: SmStats
+    ) -> SmTechniqueState:
+        if self.kill_cycle <= 0:
+            return super().make_sm_state(kernel, config, stats)
+        return _KillMidRunState(
+            kernel, config, stats,
+            kill_cycle=self.kill_cycle, marker_path=self.marker_path,
+        )
+
+
+# -- checkpoint-level faults -------------------------------------------------------
+def corrupt_checkpoint_file(path: str, kind: str, seed: int = 0) -> None:
+    """Damage a checkpoint file the way a crash or bit-rot would.
+
+    ``checkpoint-truncate`` models a writer killed mid-write (only
+    possible on the temp file path, but belt and braces); the result is
+    not valid JSON.  ``checkpoint-corrupt`` alters the payload while
+    keeping the stored checksum — parseable, plausible, and wrong —
+    which only the content checksum can catch.
+    """
+    import json
+
+    if kind == "checkpoint-truncate":
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+    elif kind == "checkpoint-corrupt":
+        with open(path) as fh:
+            raw = json.load(fh)
+        payload = raw.get("payload", {})
+        payload["cycle"] = int(payload.get("cycle", 0)) + 1 + seed % 7
+        with open(path, "w") as fh:
+            json.dump(raw, fh)  # checksum left stale on purpose
+    else:
+        raise FaultInjectionError(f"unknown checkpoint fault kind {kind!r}")
 
 
 # -- cache-level faults ------------------------------------------------------------

@@ -28,7 +28,16 @@ Failure handling distinguishes three regimes:
   hard fault): transient and environmental.  The broken pool poisons
   every unfinished future without attributing the crash, so all
   unfinished jobs are resubmitted to a fresh pool, with exponential
-  backoff, up to ``max_retries`` extra attempts each.
+  backoff, up to ``max_retries`` extra attempts each.  With
+  checkpointing on (``checkpoint_interval > 0``), a resubmitted job
+  *resumes* from whatever checkpoints the dead worker flushed rather
+  than restarting at cycle 0 — bit-identical either way, so retries
+  and cold runs share one cache key.
+* **Operator interrupts** (SIGINT / Ctrl-C): in-flight futures are
+  cancelled, workers terminated, everything already computed is
+  flushed to the cache along with partial telemetry, and a typed
+  :class:`repro.errors.InterruptedRun` carrying the completed/total
+  counts replaces the raw traceback.
 * **Timeouts** (``job_timeout`` seconds pass with a round's jobs still
   in flight): the wedged pool is abandoned (not joined — a hung worker
   would block shutdown forever) and the unfinished jobs fail with kind
@@ -42,6 +51,9 @@ worker utilization are recorded in a :class:`SessionTelemetry`
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -55,6 +67,7 @@ from repro.errors import (
     FAILURE_RUNTIME,
     FAILURE_TIMEOUT,
     FAILURE_WORKER_CRASH,
+    InterruptedRun,
     SimulationError,
 )
 from repro.harness.runner import ExperimentRunner, RunRecord
@@ -73,30 +86,50 @@ from repro.harness.telemetry import (
 )
 
 
-def _simulate(job: JobSpec, seed: int, target_ctas_per_sm: int):
-    """Worker-process entry point: run one job from scratch.
+def _simulate(
+    job: JobSpec,
+    seed: int,
+    target_ctas_per_sm: int,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: int = 0,
+):
+    """Worker-process entry point: run one job from scratch or resume it.
 
     Builds a throwaway cache-less runner so the grid sizing, seeding,
     and record normalization are exactly the serial path's; returns
-    ``(record | None, (kind, message) | None, seconds)``.  Failures are
-    returned (not raised) so the parent can distinguish a deterministic
-    simulation error from the worker process itself dying.
+    ``(record | None, (kind, message) | None, seconds, resumed_cycle)``.
+    Failures are returned (not raised) so the parent can distinguish a
+    deterministic simulation error from the worker process itself dying.
+
+    With ``checkpoint_dir`` set, the simulation writes periodic
+    checkpoints there and — after a crashed or timed-out predecessor —
+    resumes from any surviving ones; ``resumed_cycle`` reports the
+    deepest such resume point (None for a cold start).  Resume is
+    bit-identical to recomputation, so the record is cache-equivalent
+    either way.
     """
     start = time.perf_counter()
     runner = ExperimentRunner(
         target_ctas_per_sm=target_ctas_per_sm, seed=seed
     )
     kernel, technique, priority = materialize_job(job)
+    resume_report: dict = {}
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
     try:
         record = runner.run(
-            kernel, job.config, technique, scheduler_priority=priority
+            kernel, job.config, technique, scheduler_priority=priority,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            resume_report=resume_report,
         )
         failure = None
     except SimulationError as exc:
         record, failure = None, (exc.kind, str(exc))
     except RuntimeError as exc:
         record, failure = None, (FAILURE_RUNTIME, str(exc))
-    return record, failure, time.perf_counter() - start
+    resumed = max(resume_report.get("resumed", {}).values(), default=None)
+    return record, failure, time.perf_counter() - start, resumed
 
 
 class Orchestrator:
@@ -110,6 +143,8 @@ class Orchestrator:
         job_timeout: float | None = None,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        checkpoint_dir: str | None = None,
+        checkpoint_interval: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -117,12 +152,32 @@ class Orchestrator:
             raise ValueError("job_timeout must be positive (or None)")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
         self.runner = runner
         self.workers = workers
         self.job_timeout = job_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        # Checkpointing turns the retry path into a *resume* path: a job
+        # re-dispatched after a worker crash or timeout reloads whatever
+        # checkpoints its predecessor flushed instead of restarting at
+        # cycle 0.  An explicit dir also survives across sessions (kill
+        # the whole process, rerun, resume); the auto-created tempdir
+        # only covers within-session retries and is removed at the end.
+        self.checkpoint_interval = checkpoint_interval
+        self._owns_checkpoint_dir = False
+        if checkpoint_dir is None and checkpoint_interval > 0:
+            checkpoint_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+            self._owns_checkpoint_dir = True
+        self.checkpoint_dir = checkpoint_dir
         self.telemetry = telemetry or SessionTelemetry(workers=workers)
+
+    def _job_checkpoint_dir(self, key: str) -> str | None:
+        """Per-job checkpoint subdirectory (keyed like the run cache)."""
+        if self.checkpoint_dir is None or self.checkpoint_interval <= 0:
+            return None
+        return os.path.join(self.checkpoint_dir, key[:16])
 
     # -- public API -----------------------------------------------------------
     def run_specs(
@@ -163,13 +218,31 @@ class Orchestrator:
 
         # workers > 1 always uses the pool, even for one job: process
         # isolation is what contains a crashing or hanging worker.
-        if self.workers == 1 or not pending:
-            self._run_inline(pending, outcomes)
-        else:
-            self._run_pool(pending, outcomes)
+        try:
+            if self.workers == 1 or not pending:
+                self._run_inline(pending, outcomes)
+            else:
+                self._run_pool(pending, outcomes)
+        except KeyboardInterrupt as exc:
+            # Ctrl-C mid-batch: keep everything already computed.  The
+            # journaled runner has each finished record on disk already;
+            # the flush folds them into the main cache file, and the
+            # telemetry covers the partial session.  Surviving worker
+            # checkpoints stay in an operator-provided checkpoint_dir,
+            # so rerunning the same batch resumes rather than restarts.
+            self.runner.flush()
+            self.telemetry.finish()
+            raise InterruptedRun(
+                f"interrupted after {len(outcomes)} of {len(ordered)} jobs",
+                completed=len(outcomes),
+                total=len(ordered),
+                flushed=True,
+            ) from exc
 
         self.runner.flush()
         self.telemetry.finish()
+        if self._owns_checkpoint_dir and self.checkpoint_dir is not None:
+            shutil.rmtree(self.checkpoint_dir, ignore_errors=True)
         return outcomes
 
     # -- execution backends ---------------------------------------------------
@@ -179,11 +252,12 @@ class Orchestrator:
         outcomes: dict[JobSpec, object],
     ) -> None:
         for job, key in pending:
-            record, failure, seconds = _simulate(
-                job, self.runner.seed, self.runner.target_ctas_per_sm
+            record, failure, seconds, resumed = _simulate(
+                job, self.runner.seed, self.runner.target_ctas_per_sm,
+                self._job_checkpoint_dir(key), self.checkpoint_interval,
             )
             self._finish_job(job, key, record, failure, seconds, MODE_INLINE,
-                             outcomes)
+                             outcomes, resumed_from_cycle=resumed)
 
     def _run_pool(
         self,
@@ -217,6 +291,7 @@ class Orchestrator:
             pool.submit(
                 _simulate, job, self.runner.seed,
                 self.runner.target_ctas_per_sm,
+                self._job_checkpoint_dir(key), self.checkpoint_interval,
             ): (job, key, attempt)
             for job, key, attempt in batch
         }
@@ -255,7 +330,7 @@ class Orchestrator:
                 for future in done:
                     job, key, attempt = futures[future]
                     try:
-                        record, failure, seconds = future.result()
+                        record, failure, seconds, resumed = future.result()
                     except BrokenExecutor as exc:
                         # The worker process died.  The pool cannot say
                         # *which* job killed it — every unfinished
@@ -273,7 +348,18 @@ class Orchestrator:
                             )
                         continue
                     self._finish_job(job, key, record, failure, seconds,
-                                     MODE_POOL, outcomes, attempts=attempt)
+                                     MODE_POOL, outcomes, attempts=attempt,
+                                     resumed_from_cycle=resumed)
+        except KeyboardInterrupt:
+            # Operator interrupt: cancel what never started, kill the
+            # workers (their checkpoints, if any, survive on disk), and
+            # let run_jobs() flush and summarize the partial session.
+            for future in remaining:
+                future.cancel()
+            for proc in getattr(pool, "_processes", {}).values():
+                proc.terminate()
+            abandoned = True
+            raise
         finally:
             if abandoned:
                 # Every unfinished job was already declared timed out,
@@ -296,6 +382,7 @@ class Orchestrator:
         mode: str,
         outcomes: dict[JobSpec, object],
         attempts: int = 1,
+        resumed_from_cycle: int | None = None,
     ) -> None:
         if failure is not None:
             kind, message = failure
@@ -309,4 +396,5 @@ class Orchestrator:
             failure_kind=failure[0] if failure else None,
             attempts=attempts,
             cycles=record.cycles if failure is None and record else None,
+            resumed_from_cycle=resumed_from_cycle,
         )

@@ -15,6 +15,16 @@ Two problems a naive ``simulate_kernel`` comparison has:
    technique) combinations; the runner memoizes records in memory and,
    optionally, in a JSON file keyed by a content hash of everything that
    affects the result (kernel text, config, technique parameters, seed).
+
+Crash-safety of the disk cache (see ARCHITECTURE.md, "crash-safety &
+resume"): every computed record is first appended to a write-ahead
+journal (``<path>.journal``) as one fsync'd JSON line under an advisory
+file lock, so a simulation result survives a crash that lands before the
+session's single ``flush()``.  ``flush()`` itself merges the on-disk
+cache, the journal, and the in-memory memo under the same lock before an
+fsync'd atomic replace — concurrent processes sharing a cache directory
+can interleave freely without torn writes or lost entries, and a torn
+journal tail (a writer killed mid-append) is detected and dropped.
 """
 
 from __future__ import annotations
@@ -24,8 +34,14 @@ import hashlib
 import json
 import os
 import warnings
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from typing import Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 from repro.arch.config import GpuConfig
 from repro.isa.kernel import Kernel
@@ -95,6 +111,42 @@ def _record_checksum(fields: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+@contextmanager
+def _file_lock(lock_path: str):
+    """Advisory exclusive lock scoped to the ``with`` body.
+
+    Serializes journal appends and cache flushes across *processes*
+    sharing one cache path.  Degrades to a no-op where ``fcntl`` is
+    unavailable — single-process use stays correct, only cross-process
+    exclusion is lost.
+    """
+    if fcntl is None:
+        yield
+        return
+    fh = open(lock_path, "a+")
+    try:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+        fh.close()
+
+
+def _fsync_dir(path: str) -> None:
+    """Make a rename in ``path``'s directory durable (best-effort)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystem
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
 # Config fields that cannot affect simulated timing: they select
 # between bit-identical implementations (the wake-queue property tests
 # and the repro.check oracle enforce that identity) or arm pure
@@ -161,8 +213,21 @@ class ExperimentRunner:
         self._dirty = False
         self._cache_path = cache_path
         self.quarantined_entries = 0
+        # Byte offset of the first unread journal line; reset whenever
+        # the journal is truncated (by our flush or a peer's).
+        self._journal_offset = 0
         if cache_path and os.path.exists(cache_path):
             self._load_cache(cache_path)
+        if cache_path:
+            self._replay_journal()
+
+    @property
+    def _journal_path(self) -> str:
+        return self._cache_path + ".journal"
+
+    @property
+    def _lock_path(self) -> str:
+        return self._cache_path + ".lock"
 
     # -- cache plumbing ---------------------------------------------------------
     def _load_cache(self, cache_path: str) -> None:
@@ -185,6 +250,7 @@ class ExperimentRunner:
             backup = cache_path + ".corrupt"
             try:
                 os.replace(cache_path, backup)
+                _fsync_dir(backup)
             except OSError:
                 backup = "<unmovable>"
             warnings.warn(
@@ -218,6 +284,83 @@ class ExperimentRunner:
             self._quarantine(cache_path, bad)
             self._dirty = True
 
+    # -- write-ahead journal -----------------------------------------------------
+    def _journal_append(self, key: str, record: RunRecord) -> None:
+        """Durably log one computed record before the session flush.
+
+        One fsync'd JSON line per record, appended under the advisory
+        lock: a crash between compute and ``flush()`` loses nothing, and
+        two processes appending concurrently cannot interleave bytes.
+        """
+        if not self._cache_path:
+            return
+        fields = asdict(record)
+        line = json.dumps(
+            {"key": key, "record": fields,
+             "checksum": _record_checksum(fields)},
+            separators=(",", ":"),
+        ) + "\n"
+        with _file_lock(self._lock_path):
+            with open(self._journal_path, "a") as fh:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def _replay_journal(self, into: dict[str, RunRecord] | None = None) -> int:
+        """Merge journal entries written since the last replay.
+
+        With ``into`` given, reads the whole journal into that dict
+        (flush-time merge); otherwise reads incrementally from the
+        remembered offset into the memo.  A torn final line (no
+        terminating newline: the writer died mid-append) is left in
+        place unconsumed — the writer's lock-protected retry or the next
+        flush resolves it.  Corrupt complete lines are skipped.
+        """
+        if not self._cache_path:
+            return 0
+        target = self._memo if into is None else into
+        adopted = 0
+        try:
+            size = os.path.getsize(self._journal_path)
+        except OSError:
+            if into is None:
+                self._journal_offset = 0
+            return 0
+        offset = 0 if into is not None else self._journal_offset
+        if size < offset:
+            # The journal was truncated by a peer's flush: our offset
+            # points into a file that no longer has those bytes.
+            offset = 0
+        try:
+            with open(self._journal_path) as fh:
+                fh.seek(offset)
+                for line in fh:
+                    if not line.endswith("\n"):
+                        break  # torn tail from an interrupted append
+                    offset += len(line.encode())
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    try:
+                        entry = json.loads(stripped)
+                        fields = entry["record"]
+                        if entry.get("checksum") != _record_checksum(fields):
+                            raise ValueError("checksum mismatch")
+                        record = RunRecord(**fields)
+                        key = entry["key"]
+                    except (KeyError, TypeError, ValueError):
+                        continue  # corrupt line: dropped at next flush
+                    if key not in target:
+                        target[key] = record
+                        adopted += 1
+                        if into is None:
+                            self._dirty = True
+        except OSError:
+            return adopted
+        if into is None:
+            self._journal_offset = offset
+        return adopted
+
     def _quarantine(self, cache_path: str, bad: dict[str, object]) -> None:
         """Append invalid entries to ``<path>.quarantine.json`` and warn."""
         self.quarantined_entries += len(bad)
@@ -229,8 +372,13 @@ class ExperimentRunner:
         except (OSError, json.JSONDecodeError):
             pass
         existing.update(bad)
-        with open(quarantine_path, "w") as fh:
+        tmp = f"{quarantine_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
             json.dump(existing, fh, indent=2)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, quarantine_path)
+        _fsync_dir(quarantine_path)
         warnings.warn(
             f"result cache {cache_path!r}: {len(bad)} invalid "
             f"entr{'y' if len(bad) == 1 else 'ies'} quarantined to "
@@ -267,6 +415,7 @@ class ExperimentRunner:
         """Merge an externally computed record (a worker's result)."""
         self._memo[key] = record
         self._dirty = True
+        self._journal_append(key, record)
 
     def flush(self) -> None:
         """Atomically persist the memo to disk, once, if anything changed.
@@ -274,20 +423,60 @@ class ExperimentRunner:
         Persisting used to happen after *every* run — an O(cache) JSON
         rewrite per simulation.  Callers (CLI, orchestrator, benchmark
         session, examples) now flush once when their session ends.
+
+        The whole merge-write-truncate sequence holds the advisory lock:
+        the on-disk cache and the journal are re-read first so entries
+        flushed or journaled by a concurrent process survive this
+        process's rewrite, then the journal (now folded in) is removed.
+        The temp file is fsync'd before the atomic replace so a crash at
+        any point leaves either the old complete cache or the new one.
         """
         if not self._cache_path or not self._dirty:
             return
-        payload = {
-            "__cache_format__": CACHE_FORMAT_VERSION,
-            "entries": {
-                k: {"record": asdict(v), "checksum": _record_checksum(asdict(v))}
-                for k, v in self._memo.items()
-            },
-        }
-        tmp = self._cache_path + ".tmp"
-        with open(tmp, "w") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, self._cache_path)
+        with _file_lock(self._lock_path):
+            merged: dict[str, RunRecord] = {}
+            try:
+                with open(self._cache_path) as fh:
+                    raw = json.load(fh)
+                if (
+                    isinstance(raw, dict)
+                    and raw.get("__cache_format__") == CACHE_FORMAT_VERSION
+                ):
+                    for key, entry in raw.get("entries", {}).items():
+                        try:
+                            fields = entry["record"]
+                            if entry.get("checksum") != _record_checksum(fields):
+                                continue
+                            merged[key] = RunRecord(**fields)
+                        except (KeyError, TypeError, ValueError):
+                            continue
+            except (OSError, json.JSONDecodeError, TypeError):
+                pass
+            self._replay_journal(into=merged)
+            merged.update(self._memo)
+            self._memo = merged
+            payload = {
+                "__cache_format__": CACHE_FORMAT_VERSION,
+                "entries": {
+                    k: {
+                        "record": asdict(v),
+                        "checksum": _record_checksum(asdict(v)),
+                    }
+                    for k, v in merged.items()
+                },
+            }
+            tmp = f"{self._cache_path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self._cache_path)
+            _fsync_dir(self._cache_path)
+            try:
+                os.remove(self._journal_path)
+            except FileNotFoundError:
+                pass
+            self._journal_offset = 0
         self._dirty = False
 
     def __enter__(self) -> "ExperimentRunner":
@@ -303,11 +492,25 @@ class ExperimentRunner:
         config: GpuConfig,
         technique: SharingTechnique | None = None,
         scheduler_priority=None,
+        checkpoint_dir: str | None = None,
+        checkpoint_interval: int = 0,
+        resume_report: dict | None = None,
     ) -> RunRecord:
-        """Run (or recall) one (kernel, config, technique) combination."""
+        """Run (or recall) one (kernel, config, technique) combination.
+
+        The checkpoint knobs are deliberately keyword arguments rather
+        than config or technique fields: a resumed run is bit-identical
+        to a fresh one, so it must (and does) share the same cache key.
+        """
         technique = technique or BaselineTechnique()
         key = self._key(kernel, config, technique)
         cached = self._memo.get(key)
+        if cached is None and self._cache_path:
+            # A concurrent process sharing this cache may have computed
+            # and journaled this key since we loaded: adopt its result
+            # instead of recomputing.
+            self._replay_journal()
+            cached = self._memo.get(key)
         if cached is not None:
             self.cache_hits += 1
             return cached
@@ -320,7 +523,14 @@ class ExperimentRunner:
         waves = max(2, round(self.target_ctas_per_sm / resident))
         grid = resident * waves * config.num_sms
 
-        result = gpu.launch(kernel, grid, scheduler_priority=scheduler_priority)
+        result = gpu.launch(
+            kernel,
+            grid,
+            scheduler_priority=scheduler_priority,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            resume_report=resume_report,
+        )
         total = result.stats.total
         record = RunRecord(
             kernel_name=kernel.name,
@@ -340,4 +550,5 @@ class ExperimentRunner:
         )
         self._memo[key] = record
         self._dirty = True
+        self._journal_append(key, record)
         return record

@@ -32,7 +32,7 @@ from repro.arch.config import GpuConfig
 from repro.baselines.owf import OwfTechnique, owf_priority
 from repro.baselines.rfv import RfvTechnique
 from repro.errors import FAILURE_RUNTIME, SimulationError
-from repro.faults.injector import FaultyWorkerTechnique
+from repro.faults.injector import FaultyWorkerTechnique, KillMidRunTechnique
 from repro.regmutex.issue_logic import RegMutexTechnique
 from repro.regmutex.paired import PairedWarpsTechnique
 from repro.sim.technique import BaselineTechnique, SharingTechnique
@@ -44,6 +44,8 @@ from repro.workloads.suite import build_app_kernel, get_app
 # "faulty-worker" is baseline behaviour plus an injected harness fault
 # (crash / deterministic error / hang) — the fault campaign's probe for
 # the orchestrator's retry, attribution, and timeout machinery.
+# "kill-mid-run" is baseline behaviour until a deterministic cycle,
+# then SIGKILLs its worker — the checkpoint/resume campaign's probe.
 _TECHNIQUES: dict[str, tuple[type, object]] = {
     "baseline": (BaselineTechnique, None),
     "regmutex": (RegMutexTechnique, None),
@@ -51,6 +53,7 @@ _TECHNIQUES: dict[str, tuple[type, object]] = {
     "owf": (OwfTechnique, owf_priority),
     "rfv": (RfvTechnique, None),
     "faulty-worker": (FaultyWorkerTechnique, None),
+    "kill-mid-run": (KillMidRunTechnique, None),
 }
 
 

@@ -37,6 +37,9 @@ class JobTiming:
     # Simulated cycles the job produced (None when the job failed before
     # producing a record); cycles/seconds is the perf-artifact metric.
     cycles: int | None = None
+    # Cycle the job's slowest SM resumed from when a surviving
+    # checkpoint was reloaded (None for runs computed from cycle 0).
+    resumed_from_cycle: int | None = None
 
     @property
     def cached(self) -> bool:
@@ -70,10 +73,11 @@ class SessionTelemetry:
 
     def record(self, label: str, seconds: float, mode: str,
                failed: bool = False, failure_kind: str | None = None,
-               attempts: int = 1, cycles: int | None = None) -> None:
+               attempts: int = 1, cycles: int | None = None,
+               resumed_from_cycle: int | None = None) -> None:
         self.timings.append(
             JobTiming(label, seconds, mode, failed, failure_kind, attempts,
-                      cycles)
+                      cycles, resumed_from_cycle)
         )
 
     # -- aggregates -----------------------------------------------------------
@@ -97,6 +101,11 @@ class SessionTelemetry:
     def retries(self) -> int:
         """Extra dispatches beyond each job's first attempt."""
         return sum(t.attempts - 1 for t in self.timings)
+
+    @property
+    def resumed_jobs(self) -> int:
+        """Jobs that restarted from a surviving checkpoint."""
+        return sum(1 for t in self.timings if t.resumed_from_cycle is not None)
 
     def failures_by_kind(self) -> dict[str, int]:
         """Failure counts grouped by taxonomy kind (empty if all passed)."""

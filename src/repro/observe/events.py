@@ -43,6 +43,11 @@ STALL = "stall"
 FAST_FORWARD = "fast_forward"   # value = skipped cycles
 WATCHDOG = "watchdog"           # detail = diagnostic summary
 
+# Crash-safety lifecycle (repro.sim.checkpoint): a snapshot was emitted
+# / the SM was rebuilt from one.  ``value`` is the snapshot cycle.
+CHECKPOINT = "checkpoint"
+RESTORE = "restore"
+
 # SRP section transitions (emitted by the pool itself, so they cover
 # defensive EXIT-time reclamation too).  ``warp_id`` is the warp *slot*,
 # ``value`` the section index.
@@ -59,7 +64,7 @@ STALL_CATEGORIES = ("memory", "scoreboard", "barrier", "acquire")
 ALL_KINDS = frozenset({
     ISSUE, ACQUIRE_OK, ACQUIRE_BLOCKED, RELEASE, WARP_FINISH,
     CTA_LAUNCH, CTA_RETIRE, STALL, FAST_FORWARD, WATCHDOG,
-    SECTION_ACQUIRE, SECTION_RELEASE, SANITIZER,
+    SECTION_ACQUIRE, SECTION_RELEASE, SANITIZER, CHECKPOINT, RESTORE,
 })
 
 

@@ -179,6 +179,26 @@ class RegMutexSmState(SmTechniqueState):
             "retry_policy": self.retry_policy,
         }
 
+    def state_snapshot(self) -> dict:
+        return {
+            "srp_bitmask": self.srp.srp_bitmask.as_int(),
+            "warp_status": self.srp.warp_status.as_int(),
+            "lut": list(self.srp._lut),
+            "wait_queue": [w.warp_id for w in self._wait_queue],
+            "pending_wakeups": [w.warp_id for w in self._pending_wakeups],
+        }
+
+    def state_restore(self, payload: dict, warps_by_id: dict[int, Warp]) -> None:
+        self.srp.srp_bitmask._bits = payload["srp_bitmask"]
+        self.srp.warp_status._bits = payload["warp_status"]
+        self.srp._lut = list(payload["lut"])
+        # FIFO order is part of the schedule: restore verbatim.
+        self._wait_queue = [warps_by_id[w] for w in payload["wait_queue"]]
+        self._pending_wakeups = [
+            warps_by_id[w] for w in payload["pending_wakeups"]
+        ]
+        self._wakeup_spare = []
+
     def resolve_physical(self, warp: Warp, arch_reg: int) -> int:
         """The Figure 6b mux, for the bank-conflict model.
 

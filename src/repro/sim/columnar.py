@@ -353,6 +353,45 @@ class ColumnarUnit:
     def sleeping_warps(self) -> int:
         return self.mem_sleepers + self.nonmem_sleepers
 
+    # -- checkpointing (repro.sim.checkpoint) -------------------------------------
+    def queue_snapshot(self) -> dict:
+        """Queue membership as plain JSON-safe values.  The sleeper heap
+        is serialized verbatim (sans nothing — entries are already bare
+        scalars); ``(wake, warp_id)`` keys are unique, so any valid heap
+        arrangement pops in the same order.  Scratch lists
+        (``candidates``/``keep``/``issued``) are empty at every cycle
+        boundary and are not captured."""
+        return {
+            "ready": [list(t) for t in self.ready],
+            "sleepers": [list(t) for t in self.sleepers],
+            "far": list(self.far),
+            "mem_sleepers": self.mem_sleepers,
+            "nonmem_sleepers": self.nonmem_sleepers,
+            "barrier_count": self.barrier_count,
+            "acquire_count": self.acquire_count,
+        }
+
+    def queue_restore(self, payload: dict) -> None:
+        from heapq import heapify
+
+        # Entries must be tuples, not lists: ``ready.remove((wid, slot))``
+        # compares by equality and list != tuple.
+        self.ready = [(wid, slot) for wid, slot in payload["ready"]]
+        self.candidates = []
+        self.keep = []
+        self.issued = []
+        self.sleepers = [
+            (wake, wid, slot, bool(mem))
+            for wake, wid, slot, mem in payload["sleepers"]
+        ]
+        heapify(self.sleepers)
+        self.far = list(payload["far"])
+        heapify(self.far)
+        self.mem_sleepers = payload["mem_sleepers"]
+        self.nonmem_sleepers = payload["nonmem_sleepers"]
+        self.barrier_count = payload["barrier_count"]
+        self.acquire_count = payload["acquire_count"]
+
 
 class ColumnarCore:
     """The per-SM columnar store plus its event bookkeeping.
@@ -548,6 +587,51 @@ class ColumnarCore:
             if heap and (best is None or heap[0][0] < best):
                 best = heap[0][0]
         return best
+
+    # -- checkpointing (repro.sim.checkpoint) -------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Engine-specific state beyond the per-warp columns (which the
+        checkpoint layer reads through the view properties): scoreboard
+        rows/maxima keyed by warp id, and the per-unit queues."""
+        rows = {}
+        maxima = {}
+        for wid, slot in self.wid2slot.items():
+            rows[str(wid)] = list(self.sb_rows[slot])
+            maxima[str(wid)] = self.sb_max[slot]
+        return {
+            "sb_rows": rows,
+            "sb_max": maxima,
+            "units": [unit.queue_snapshot() for unit in self.units],
+        }
+
+    def checkpoint_restore(self, payload: dict, cycle: int) -> None:
+        """Restore rows/maxima/queues after the warps have been re-adopted
+        via :meth:`new_warp` (which sized fresh rows and populated
+        ``wid2slot``).  The completion heap is derived state: rebuilt from
+        row values still in the future — stale-but-future heap entries in
+        the original are discarded at peek time anyway, so omitting them
+        is behavior-identical."""
+        from heapq import heapify
+
+        units = payload["units"]
+        if len(units) != len(self.units):
+            raise ValueError(
+                f"checkpoint has {len(units)} scheduler units, "
+                f"core has {len(self.units)}"
+            )
+        heap = []
+        for wid_s, row in payload["sb_rows"].items():
+            wid = int(wid_s)
+            slot = self.wid2slot[wid]
+            self.sb_rows[slot][:] = row
+            self.sb_max[slot] = payload["sb_max"][wid_s]
+            for reg, ready in enumerate(row):
+                if ready > cycle:
+                    heap.append((ready, wid, reg))
+        heapify(heap)
+        self.sb_heap[:] = heap
+        for unit, unit_payload in zip(self.units, units):
+            unit.queue_restore(unit_payload)
 
     # -- bulk reads (numpy when available) --------------------------------------
     def snapshot(self) -> dict:

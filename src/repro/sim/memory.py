@@ -110,3 +110,23 @@ class MemoryModel:
         if self.loads_issued == 0:
             return 0.0
         return self.l1_hits / self.loads_issued
+
+    # -- checkpointing (repro.sim.checkpoint) -------------------------------------
+    def snapshot(self) -> dict:
+        """All mutable state, including the hit/miss RNG stream position."""
+        return {
+            "in_flight": {str(c): n for c, n in self._in_flight.items()},
+            "in_flight_total": self._in_flight_total,
+            "next_retire": self._next_retire,
+            "loads_issued": self.loads_issued,
+            "l1_hits": self.l1_hits,
+            "rng_state": self._rng._state,
+        }
+
+    def restore(self, payload: dict) -> None:
+        self._in_flight = {int(c): n for c, n in payload["in_flight"].items()}
+        self._in_flight_total = payload["in_flight_total"]
+        self._next_retire = payload["next_retire"]
+        self.loads_issued = payload["loads_issued"]
+        self.l1_hits = payload["l1_hits"]
+        self._rng._state = payload["rng_state"]

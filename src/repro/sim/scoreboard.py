@@ -132,3 +132,32 @@ class Scoreboard:
         attribution breakdown only, never for correctness."""
         pending = self._pending.get(warp_id, {})
         return any(ready - cycle > horizon for ready in pending.values())
+
+    # -- checkpointing (repro.sim.checkpoint) -------------------------------------
+    def snapshot(self) -> dict:
+        """The pending-write dicts; the completion heap is derived state.
+
+        Stale heap entries never influence results (``earliest_ready``
+        validates each peek against the dict), so they are not captured:
+        restore rebuilds the heap from live entries only.
+        """
+        return {
+            "pending": {
+                str(wid): {str(r): c for r, c in regs.items()}
+                for wid, regs in self._pending.items()
+            },
+        }
+
+    def restore(self, payload: dict) -> None:
+        from heapq import heapify
+
+        self._pending = {
+            int(wid): {int(r): c for r, c in regs.items()}
+            for wid, regs in payload["pending"].items()
+        }
+        self._completions = [
+            (ready, wid, reg)
+            for wid, regs in self._pending.items()
+            for reg, ready in regs.items()
+        ]
+        heapify(self._completions)

@@ -563,7 +563,13 @@ class StreamingMultiprocessor:
         and the batched run share one implementation of the cycle body."""
         return self._run_columnar(0, single_step=True)
 
-    def _run_columnar(self, max_cycles: int, single_step: bool = False):
+    def _run_columnar(
+        self,
+        max_cycles: int,
+        single_step: bool = False,
+        checkpoint_interval: int = 0,
+        checkpoint_sink=None,
+    ):
         """Array-backed issue path: the event engine's exact algorithm
         (wake-ordered ready lists, sleeper heaps, blocked counts, the
         same idle-attribution flags) over the columnar store.
@@ -642,6 +648,9 @@ class StreamingMultiprocessor:
         # Stall/issue counters accumulate in locals; flushed to stats at
         # observation points only.
         d_issued = d_idle = d_mem = d_bar = d_sb = d_acq = d_res = 0
+        next_ckpt = None
+        if checkpoint_interval and checkpoint_sink is not None:
+            next_ckpt = cycle + checkpoint_interval
 
         while True:
             cycle += 1
@@ -1059,6 +1068,10 @@ class StreamingMultiprocessor:
                 mem_t = memory._next_retire
                 if mem_t is not None and (target is None or mem_t < target):
                     target = mem_t
+                # Completion-backed minimum so far: creditable against
+                # the watchdog (see _fast_forward) iff it survives as
+                # the overall minimum below.
+                creditable = target
                 for unit in units:
                     heap = unit.sleepers
                     if heap and (target is None or heap[0][0] < target):
@@ -1080,6 +1093,10 @@ class StreamingMultiprocessor:
                 if skip > 0:
                     cycle += skip
                     self.cycle = cycle
+                    if creditable is not None and creditable == target:
+                        # Legitimate waiting on a pending completion —
+                        # not livelock polling (see _fast_forward).
+                        last_progress += skip
                     d_idle += skip * num_sched
                     d_mem += skip * num_sched
                     d_res += skip * self._resident_warp_count
@@ -1131,6 +1148,23 @@ class StreamingMultiprocessor:
                 )
             if not resident_ctas and not self.ctas_pending:
                 break
+            if next_ckpt is not None and cycle >= next_ckpt:
+                next_ckpt = cycle + checkpoint_interval
+                # The snapshot reads SmStats and _last_progress_cycle:
+                # flush the delta locals first.  Timing-neutral — the
+                # totals are identical whenever they are flushed.
+                stats.instructions_issued += d_issued
+                stats.idle_scheduler_cycles += d_idle
+                stats.stall_memory += d_mem
+                stats.stall_barrier += d_bar
+                stats.stall_scoreboard += d_sb
+                stats.stall_acquire += d_acq
+                stats.resident_warp_cycles += d_res
+                d_issued = d_idle = d_mem = d_bar = d_sb = d_acq = d_res = 0
+                self._last_progress_cycle = last_progress
+                checkpoint_sink(self.save_checkpoint())
+                if observer is not None:
+                    observer.on_checkpoint(self, cycle)
 
         stats.instructions_issued += d_issued
         stats.idle_scheduler_cycles += d_idle
@@ -1279,6 +1313,27 @@ class StreamingMultiprocessor:
             technique=self.technique.debug_snapshot(),
         )
 
+    # -- checkpoint/restore -------------------------------------------------------
+    def save_checkpoint(self) -> dict:
+        """JSON-safe snapshot of the SM's full mutable state, taken at a
+        cycle boundary.  See :mod:`repro.sim.checkpoint` for the payload
+        layout and the bit-identity contract."""
+        from repro.sim.checkpoint import capture_sm
+
+        return capture_sm(self)
+
+    def restore_checkpoint(self, payload: dict) -> None:
+        """Rebuild this SM's state from a checkpoint payload.
+
+        The SM must have been constructed with the same arguments as the
+        checkpointed one (kernel, config, technique, seed); constructor-
+        launched CTAs and queues are torn down and rebuilt.  Raises the
+        typed :class:`repro.errors.CheckpointError` family on schema,
+        engine, or context mismatch — never resumes silently."""
+        from repro.sim.checkpoint import restore_into
+
+        restore_into(self, payload)
+
     def _fast_forward(self) -> None:
         """Jump the clock to the next event when no warp can issue.
 
@@ -1304,6 +1359,15 @@ class StreamingMultiprocessor:
         mem = self.memory.earliest_completion(self.cycle)
         if mem is not None:
             targets.append(mem)
+        # Completion-backed targets (a pending scoreboard write or an
+        # in-flight load) are *creditable*: a skip to one of them is
+        # legitimate waiting on the machine, not fruitless polling, so
+        # it must not count against the livelock watchdog — a single
+        # DRAM access longer than the watchdog window would otherwise be
+        # misreported as a livelock.  Pure sleeper-wake targets (eager
+        # acquire-retry backoffs) stay uncredited: those short skips are
+        # exactly the polling the watchdog exists to bound.
+        creditable = min(targets) if targets else None
         # Eager acquire-retry backoffs are self-imposed timers: a READY
         # warp with a future wake_cycle will poll again at that cycle.
         if self._engine is not None:
@@ -1327,18 +1391,34 @@ class StreamingMultiprocessor:
                 f"{diagnostic.summary()}",
                 diagnostic=diagnostic,
             )
-        skip = max(0, min(targets) - self.cycle - 1)
+        target = min(targets)
+        skip = max(0, target - self.cycle - 1)
         if skip == 0:
             return
         self.cycle += skip
+        if creditable is not None and creditable == target:
+            self._last_progress_cycle += skip
         self.stats.idle_scheduler_cycles += skip * len(self.schedulers)
         self.stats.stall_memory += skip * len(self.schedulers)
         self.stats.resident_warp_cycles += skip * self._resident_warp_count
         if self._observer is not None:
             self._observer.on_fast_forward(self, skip)
 
-    def run(self, max_cycles: int = 50_000_000) -> SmStats:
+    def run(
+        self,
+        max_cycles: int = 50_000_000,
+        checkpoint_interval: int = 0,
+        checkpoint_sink=None,
+    ) -> SmStats:
         """Run to completion.
+
+        With ``checkpoint_interval > 0`` and a ``checkpoint_sink``
+        callable, a full state snapshot (:meth:`save_checkpoint`) is
+        handed to the sink roughly every ``checkpoint_interval`` cycles
+        — the SM does no file I/O itself; persistence policy belongs to
+        the caller (see :func:`repro.sim.checkpoint.write_checkpoint`).
+        Emission is timing-neutral: the schedule and every stat are
+        bit-identical with and without checkpointing.
 
         Raises :class:`SimulationDeadlockError` when the schedule stops
         making forward progress — immediately when no timer is pending
@@ -1348,12 +1428,24 @@ class StreamingMultiprocessor:
         :class:`CycleLimitExceededError` at the ``max_cycles`` backstop.
         """
         if self._columnar is not None:
-            return self._run_columnar(max_cycles)
+            return self._run_columnar(
+                max_cycles,
+                checkpoint_interval=checkpoint_interval,
+                checkpoint_sink=checkpoint_sink,
+            )
         window = self.config.watchdog_window
+        next_ckpt = None
+        if checkpoint_interval and checkpoint_sink is not None:
+            next_ckpt = self.cycle + checkpoint_interval
         while not self.done:
             issued = self.step()
             if issued == 0 and not self.done:
                 self._fast_forward()
+            if next_ckpt is not None and self.cycle >= next_ckpt and not self.done:
+                next_ckpt = self.cycle + checkpoint_interval
+                checkpoint_sink(self.save_checkpoint())
+                if self._observer is not None:
+                    self._observer.on_checkpoint(self, self.cycle)
             if window and self.cycle - self._last_progress_cycle > window:
                 diagnostic = self.diagnostic()
                 if self._observer is not None:

@@ -98,6 +98,32 @@ class SmTechniqueState:
         coeff = max(1, self.kernel.metadata.regs_per_thread)
         return arch_reg + coeff * warp.slot
 
+    # -- checkpoint hooks (repro.sim.checkpoint) ----------------------------------
+    # Distinct names from the issue-path hooks on purpose: the columnar
+    # stepper detects overridden can_issue/on_issue/wakeup_pending by
+    # class identity to pick its fast path, and a checkpoint mixin must
+    # never perturb that detection.
+
+    def state_snapshot(self) -> dict:
+        """JSON-able snapshot of the technique's mutable per-SM state.
+
+        The base state is stateless (``kernel``/``config``/``stats``
+        are restored by the SM itself), so the default is empty.
+        Techniques with wait queues, pools, or counters override both
+        hooks; orderings (FIFO queues, insertion-ordered dicts) must be
+        preserved exactly — resume is a *bit-identity* contract.
+        """
+        return {}
+
+    def state_restore(self, payload: dict, warps_by_id: dict[int, Warp]) -> None:
+        """Rebuild mutable state from :meth:`state_snapshot` output.
+
+        ``warps_by_id`` maps warp ids to the *restored* warp objects —
+        any serialized warp reference must be resolved through it, never
+        kept as an id, so identity checks (e.g. ``warp in queue``) keep
+        working after resume.
+        """
+
 
 class SharingTechnique:
     """A register-management scheme: occupancy math + per-SM state factory."""

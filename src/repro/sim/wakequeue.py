@@ -229,6 +229,43 @@ class SchedulerWakeQueue:
         scoreboard = self._nonmem_sleepers > far_n
         return memory, scoreboard
 
+    # -- checkpointing (repro.sim.checkpoint) -----------------------------------
+    def snapshot(self) -> dict:
+        """Queues as warp ids; the sleeper heap keeps its exact tuples
+        (minus the object reference).  Heap *keys* are unique per entry
+        — ``(wake, warp_id)`` with monotonic ids — so re-heapifying on
+        restore reproduces the identical pop order."""
+        return {
+            "ready": [w.warp_id for w in self.ready],
+            "sleepers": [
+                (wake, wid, is_mem) for wake, wid, _, is_mem in self.sleepers
+            ],
+            "far": list(self._far),
+            "mem_sleepers": self._mem_sleepers,
+            "nonmem_sleepers": self._nonmem_sleepers,
+            "barrier_count": self.barrier_count,
+            "acquire_count": self.acquire_count,
+        }
+
+    def restore(self, payload: dict, warps_by_id: dict[int, Warp]) -> None:
+        from heapq import heapify
+
+        self.ready = [warps_by_id[w] for w in payload["ready"]]
+        self.sleepers = [
+            (wake, wid, warps_by_id[wid], is_mem)
+            for wake, wid, is_mem in payload["sleepers"]
+        ]
+        heapify(self.sleepers)
+        self._far = list(payload["far"])
+        heapify(self._far)
+        self._mem_sleepers = payload["mem_sleepers"]
+        self._nonmem_sleepers = payload["nonmem_sleepers"]
+        self.barrier_count = payload["barrier_count"]
+        self.acquire_count = payload["acquire_count"]
+        self.candidates = []
+        self.keep = []
+        self.issued = []
+
     # -- introspection (tests, invariant sweeps) --------------------------------
     def sleeping_warps(self) -> int:
         return self._mem_sleepers + self._nonmem_sleepers
@@ -303,3 +340,16 @@ class IssueEngine:
     def check_hygiene(self) -> None:
         for unit in self.units:
             unit.check_hygiene()
+
+    # -- checkpointing (repro.sim.checkpoint) -----------------------------------
+    def snapshot(self) -> list[dict]:
+        return [unit.snapshot() for unit in self.units]
+
+    def restore(self, payload: list[dict], warps_by_id: dict[int, Warp]) -> None:
+        if len(payload) != len(self.units):
+            raise ValueError(
+                f"checkpoint has {len(payload)} wake queues, "
+                f"engine has {len(self.units)}"
+            )
+        for unit, unit_payload in zip(self.units, payload):
+            unit.restore(unit_payload, warps_by_id)

@@ -29,8 +29,11 @@ class TestSimAndCacheLayers:
         assert not escaped, campaign_table(sim_outcomes)
 
     def test_covers_sim_and_cache_scenarios(self, sim_outcomes):
-        assert len(sim_outcomes) == 7  # 4 simulator + 3 cache
-        assert {o.layer for o in sim_outcomes} == {"srp", "compiler", "cache"}
+        # 4 simulator + 2 checkpoint + 3 cache-damage + 1 cache-concurrency
+        assert len(sim_outcomes) == 10
+        assert {o.layer for o in sim_outcomes} == {
+            "srp", "compiler", "checkpoint", "cache",
+        }
 
     def test_deadlocks_caught_well_before_deadline(self, sim_outcomes):
         for outcome in sim_outcomes:
@@ -47,6 +50,12 @@ class TestSimAndCacheLayers:
         assert detectors["lost-release/eager"] == "watchdog"
         assert detectors["unbalanced-acquire/barrier"] == "deadlock-check"
         assert detectors["srp-bit-flip/invariants"] == "invariant-checker"
+        # Damaged checkpoints are classified and discarded, never
+        # silently resumed; the journal/lock protocol survives
+        # concurrent writers.
+        assert detectors["checkpoint-truncate/fallback"] == "checkpoint-validation"
+        assert detectors["checkpoint-corrupt/fallback"] == "checkpoint-validation"
+        assert detectors["cache-concurrent-writer/stress"] == "journal-lock"
 
     def test_campaign_is_deterministic(self, sim_outcomes):
         assert run_campaign(seed=2018, include_harness=False) == sim_outcomes
@@ -61,10 +70,28 @@ class TestSimAndCacheLayers:
 class TestFullCampaign:
     def test_harness_faults_absorbed_or_attributed(self):
         outcomes = run_campaign(seed=2018, include_harness=True, workers=2)
-        assert len(outcomes) == 10
+        assert len(outcomes) == 13
         escaped = [o for o in outcomes if o.escaped]
         assert not escaped, campaign_table(outcomes)
         harness = {o.scenario: o for o in outcomes if o.layer == "harness"}
         assert harness["worker-crash/retry"].detector == "retry"
         assert harness["sim-error/no-retry"].detector == "failure-taxonomy"
         assert harness["worker-hang/timeout"].detector == "job-timeout"
+
+
+class TestKillMidRun:
+    def test_sigkilled_worker_resumes_bit_identically(self):
+        """The crash-safety acceptance probe: a worker SIGKILLed at a
+        deterministic cycle is retried, the retry resumes from the
+        surviving checkpoint, and the final record is bit-identical to
+        an undisturbed run."""
+        outcomes = run_campaign(
+            seed=2018, include_harness=True, workers=2,
+            include_kill_mid_run=True,
+        )
+        assert len(outcomes) == 14
+        kill = next(o for o in outcomes if o.fault == "kill-mid-run")
+        assert kill.detected, kill.detail
+        assert kill.detector == "checkpoint-resume"
+        assert kill.cycles is not None and kill.cycles > 0  # resume cycle
+        assert "bit-identical" in kill.detail

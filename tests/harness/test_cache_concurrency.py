@@ -1,0 +1,191 @@
+"""Crash-safety of the shared run store: journal, lock, and recovery.
+
+The run store's durability contract has three legs:
+
+1. every computed record is write-ahead journaled (one fsync'd line)
+   *before* the session flush, so a crash between compute and
+   ``flush()`` loses nothing;
+2. the journal and the cache rewrite are serialized by an advisory
+   file lock, so concurrent processes sharing one cache path never
+   tear each other's bytes or lose each other's entries;
+3. damage is contained: a torn journal tail is left unconsumed, a
+   corrupt line is skipped, and neither aborts the session.
+
+These tests exercise all three with real processes where the contract
+is about processes, and with two in-process runners where it is about
+the merge logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.harness.runner import ExperimentRunner
+from repro.sim.technique import BaselineTechnique
+from tests.conftest import straightline_kernel
+
+
+def _tiny_config(name="cc-tiny"):
+    from repro.arch.config import fermi_like
+
+    return fermi_like(
+        name=name,
+        num_sms=1,
+        max_warps_per_sm=8,
+        max_ctas_per_sm=4,
+        max_threads_per_sm=256,
+        registers_per_sm=4096,
+        shared_mem_per_sm=16 * 1024,
+        dram_latency=80,
+        l1_hit_latency=10,
+    )
+
+
+def _runner(path):
+    return ExperimentRunner(target_ctas_per_sm=2, seed=11, cache_path=path)
+
+
+def _compute(runner, name):
+    return runner.run(
+        straightline_kernel(), _tiny_config(name), BaselineTechnique()
+    )
+
+
+def _stress_worker(path: str, worker_id: int, entries: int) -> int:
+    """Process-pool entry point: journal + flush ``entries`` distinct
+    records against the shared cache, flushing after every record for
+    maximal lock contention."""
+    runner = _runner(path)
+    for i in range(entries):
+        _compute(runner, f"cc-{worker_id}-{i}")
+        runner.flush()
+    return entries
+
+
+class TestJournalRecovery:
+    def test_unflushed_record_survives_a_crash(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        crashed = _runner(path)
+        record = _compute(crashed, "crashy")
+        # The "crash": the runner is dropped without flush().  The
+        # journal already holds the record, fsync'd.
+        assert os.path.exists(path + ".journal")
+        assert not os.path.exists(path)
+
+        survivor = _runner(path)
+        assert _compute(survivor, "crashy") == record
+        assert survivor.cache_hits == 1
+        assert survivor.cache_misses == 0
+
+    def test_flush_folds_journal_into_cache(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        crashed = _runner(path)
+        _compute(crashed, "crashy")
+
+        survivor = _runner(path)
+        survivor.flush()
+        assert not os.path.exists(path + ".journal")
+        with open(path) as fh:
+            assert len(json.load(fh)["entries"]) == 1
+
+    def test_torn_tail_left_unconsumed(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        writer = _runner(path)
+        _compute(writer, "whole-a")
+        _compute(writer, "whole-b")
+        with open(path + ".journal", "a") as fh:
+            fh.write('{"key": "torn-entry", "rec')  # no newline: mid-append
+
+        survivor = _runner(path)
+        assert len(survivor._memo) == 2
+        assert survivor.quarantined_entries == 0
+        # The torn bytes are still on disk for the writer's retry.
+        with open(path + ".journal") as fh:
+            assert fh.read().endswith('"rec')
+
+    def test_corrupt_complete_line_skipped(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        writer = _runner(path)
+        _compute(writer, "honest")
+        with open(path + ".journal", "a") as fh:
+            fh.write("this is not json\n")
+            fh.write('{"key": "bad-checksum", "record": {}, '
+                     '"checksum": "nope"}\n')
+
+        survivor = _runner(path)
+        assert len(survivor._memo) == 1
+        assert survivor.quarantined_entries == 0
+
+    def test_miss_path_adopts_a_peer_journal_entry(self, tmp_path):
+        # Two runners share the path *in the same process*: B opened
+        # before A computed, so B's memo is stale — the miss path must
+        # re-read the journal instead of recomputing.
+        path = str(tmp_path / "cache.json")
+        a = _runner(path)
+        b = _runner(path)
+        record = _compute(a, "late-arrival")
+        assert _compute(b, "late-arrival") == record
+        assert b.cache_hits == 1
+        assert b.cache_misses == 0
+
+
+class TestConcurrentWriters:
+    def test_in_process_flushes_merge_not_clobber(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        a = _runner(path)
+        b = _runner(path)
+        _compute(a, "from-a")
+        _compute(b, "from-b")
+        a.flush()
+        b.flush()  # must fold a's flushed entry back in, not overwrite
+
+        survivor = _runner(path)
+        assert len(survivor._memo) == 2
+        assert survivor.quarantined_entries == 0
+
+    def test_two_process_stress_loses_nothing(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        writers, entries = 2, 3
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            futures = [
+                pool.submit(_stress_worker, path, wid, entries)
+                for wid in range(writers)
+            ]
+            written = sum(f.result() for f in futures)
+        assert written == writers * entries
+
+        survivor = _runner(path)
+        assert len(survivor._memo) == writers * entries
+        assert survivor.quarantined_entries == 0
+        names = {r.config_name for r in survivor._memo.values()}
+        assert names == {
+            f"cc-{w}-{i}" for w in range(writers) for i in range(entries)
+        }
+
+    def test_stressed_cache_file_is_well_formed(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for f in [
+                pool.submit(_stress_worker, path, wid, 2) for wid in range(2)
+            ]:
+                f.result()
+        with open(path) as fh:
+            raw = json.load(fh)  # a torn write would fail right here
+        assert raw["__cache_format__"] == 2
+        assert len(raw["entries"]) == 4
+
+    def test_identical_work_is_computed_once_then_shared(self, tmp_path):
+        # Same (kernel, config, technique) from two runners: the second
+        # adopts the first's journaled record rather than recomputing.
+        path = str(tmp_path / "cache.json")
+        first = _runner(path)
+        _compute(first, "shared-key")
+        assert first.cache_misses == 1
+
+        second = _runner(path)
+        _compute(second, "shared-key")
+        assert second.cache_misses == 0
+        assert second.cache_hits == 1

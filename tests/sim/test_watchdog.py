@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro.arch.config import fermi_like
 from repro.errors import (
     CycleLimitExceededError,
     DeadlockDiagnostic,
@@ -131,6 +132,83 @@ class TestNoFalsePositives:
             rng=DeterministicRng(11), stats=stats,
         )
         assert sm.run().cycles > 0
+
+
+class TestMultiWindowSleep:
+    """Regression: the fast-forward watchdog credit.
+
+    A fast-forward that jumps to a *completion-backed* target (an
+    in-flight memory request or a scoreboard writeback) is real
+    progress and must be credited against the watchdog, even when the
+    jump spans several watchdog windows; a jump to a pure sleeper-wake
+    target (eager acquire backoff) must NOT be credited, or livelocks
+    that re-poll forever would look alive.  Both halves are pinned here
+    with a window far smaller than one DRAM round-trip.
+    """
+
+    @staticmethod
+    def _tight_window_config(engine, **overrides):
+        base = dict(
+            name="tight-window",
+            num_sms=1,
+            max_warps_per_sm=8,
+            max_ctas_per_sm=4,
+            max_threads_per_sm=256,
+            registers_per_sm=4096,
+            shared_mem_per_sm=16 * 1024,
+            dram_latency=400,
+            l1_hit_latency=10,
+            watchdog_window=50,
+            issue_engine=engine,
+        )
+        base.update(overrides)
+        return fermi_like(**base)
+
+    @staticmethod
+    def _memory_sleep_kernel():
+        # One lone warp issues a DRAM load and sleeps ~400 cycles — eight
+        # watchdog windows — with nothing else to issue.
+        b = KernelBuilder(name="mem-sleep", regs_per_thread=4,
+                          threads_per_cta=32)
+        b.ldc(0)
+        b.load(1, 0)
+        b.alu(2, 1, 1)
+        b.store(0, 2)
+        b.exit()
+        return b.build()
+
+    @pytest.mark.parametrize("engine", ("scan", "event", "columnar"))
+    def test_multi_window_memory_sleep_completes(self, engine):
+        config = self._tight_window_config(engine)
+        result = Gpu(config, BaselineTechnique()).launch(
+            self._memory_sleep_kernel(), grid_ctas=1
+        )
+        # The run genuinely outlived the window many times over.
+        assert result.cycles > 4 * config.watchdog_window
+
+    @pytest.mark.parametrize("engine", ("scan", "event", "columnar"))
+    def test_credit_does_not_change_the_schedule(self, engine):
+        # Crediting skips touches only watchdog bookkeeping: the result
+        # must be bit-identical to a run where the watchdog never comes
+        # close to firing.
+        tight = Gpu(self._tight_window_config(engine), BaselineTechnique())
+        roomy = Gpu(
+            self._tight_window_config(engine, watchdog_window=1_000_000),
+            BaselineTechnique(),
+        )
+        kernel = self._memory_sleep_kernel()
+        assert tight.launch(kernel, grid_ctas=1) == roomy.launch(
+            kernel, grid_ctas=1
+        )
+
+    def test_eager_livelock_still_caught_with_tight_window(self):
+        # The other side of the boundary: backoff-timer wakeups are not
+        # completion-backed, so starved eager re-polling still trips the
+        # watchdog even though timers fire constantly.
+        config = self._tight_window_config("scan", dram_latency=80)
+        sm = starved_sm(config, "eager")
+        with pytest.raises(SimulationDeadlockError, match="watchdog"):
+            sm.run()
 
 
 class TestCycleLimit:
