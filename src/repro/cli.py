@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro list
+    python -m repro list [--json]
     python -m repro table1
     python -m repro fig7 [--apps BFS,SAD] [--cache PATH] [--workers 4]
     python -m repro fig9a
@@ -13,6 +13,9 @@ Usage::
     python -m repro faults [--seed 7] [--skip-harness]
     python -m repro check [--smoke] [--apps BFS,SAD] [--update-golden]
     python -m repro check --faults
+    python -m repro --workers 4 serve [--socket .repro.sock]
+    python -m repro submit fig7 [--timeout 120] [--socket .repro.sock]
+    python -m repro status [--trace service.json]
 
 ``run`` executes a single (app, technique) pair and prints the raw
 record — the quickest way to poke at one configuration.  ``profile``
@@ -41,6 +44,14 @@ asserted equivalent modulo each technique's documented remapping.
 ``tests/check/golden/``; ``--smoke`` restricts to the three-app CI
 subset; ``--faults`` instead re-runs the fault campaign with the
 sanitizer armed and reports which mechanism caught each fault.
+
+``serve`` runs the persistent simulation daemon (:mod:`repro.service`):
+an asyncio front end over the journaled run store that dedups
+submissions three ways and streams per-job telemetry; ``submit`` sends
+a figure name or a JSON job file to a running daemon and follows the
+event stream (exit 1 if any job failed, matching the batch CLI);
+``status`` prints the daemon's dedup/queue statistics and can export
+its job-lifecycle Perfetto trace.
 """
 
 from __future__ import annotations
@@ -97,7 +108,89 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments and apps")
+    lst = sub.add_parser("list", help="list available experiments and apps")
+    lst.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable listing (experiments, apps, techniques) "
+             "so service clients can discover valid spec names",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent simulation daemon (graceful SIGTERM "
+             "drain, shared run store, streaming telemetry)",
+    )
+    serve.add_argument(
+        "--socket", default=".repro.sock", metavar="PATH",
+        help="Unix-domain socket to listen on (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="additionally listen on TCP (e.g. 127.0.0.1:7011)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="max concurrently active jobs before submissions get a "
+             "typed queue-full rejection (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--flush-interval", type=float, default=5.0, metavar="SECONDS",
+        help="periodic cache flush cadence, 0 disables "
+             "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for per-job checkpoints; with "
+             "--checkpoint-interval this makes daemon kills resumable",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=int, default=0, metavar="CYCLES",
+        help="checkpoint every N simulated cycles (0 disables)",
+    )
+    serve.add_argument("--seed", type=int, default=2018,
+                       help="simulation seed (default: %(default)s)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a spec to a running daemon and follow its "
+             "per-job event stream",
+    )
+    submit.add_argument(
+        "spec",
+        help="a figure name (fig7, fig9a, ...) or a path to a JSON "
+             "file with a {'jobs': [...]} list",
+    )
+    submit.add_argument(
+        "--socket", default=".repro.sock", metavar="PATH",
+        help="daemon socket (default: %(default)s)",
+    )
+    submit.add_argument(
+        "--apps", default=None,
+        help="comma-separated app subset (named experiments only)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job timeout override for this submission "
+             "(overrides the daemon's default end-to-end)",
+    )
+    submit.add_argument(
+        "--no-follow", action="store_true",
+        help="return after the submission response without streaming "
+             "job events",
+    )
+
+    status = sub.add_parser(
+        "status", help="query a running daemon's job table and stats"
+    )
+    status.add_argument(
+        "--socket", default=".repro.sock", metavar="PATH",
+        help="daemon socket (default: %(default)s)",
+    )
+    status.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="also fetch the daemon's job-lifecycle Chrome trace and "
+             "write it to PATH (open at ui.perfetto.dev)",
+    )
     bench = sub.add_parser(
         "bench",
         help="regenerate figure suites through the orchestrator "
@@ -273,7 +366,29 @@ def _apps_arg(args) -> tuple[str, ...] | None:
     return None
 
 
-def _cmd_list() -> int:
+def _cmd_list(args=None) -> int:
+    if args is not None and args.as_json:
+        import json
+
+        from repro.harness.spec import technique_kinds
+
+        print(json.dumps({
+            "experiments": list(_EXPERIMENTS),
+            "figures": sorted(E.FIGURE_SPECS),
+            "techniques": list(technique_kinds()),
+            "apps": [
+                {
+                    "name": spec.name,
+                    "suite": spec.suite,
+                    "group": spec.group,
+                    "regs": spec.regs,
+                    "expected_bs": spec.expected_bs,
+                    "expected_es": spec.expected_es,
+                }
+                for spec in APPLICATIONS.values()
+            ],
+        }, indent=2))
+        return 0
     print("experiments:", ", ".join(_EXPERIMENTS))
     print("apps:")
     for spec in APPLICATIONS.values():
@@ -425,14 +540,164 @@ def _cmd_bench(args, runner: ExperimentRunner) -> int:
 
 
 def _figure_spec(name: str, apps: tuple[str, ...] | None):
-    """Build one figure spec, forwarding ``apps`` where the factory takes
-    it (fig12*/fig13 have fixed app sets)."""
-    import inspect
+    """Build one figure spec (thin alias of the shared resolver)."""
+    return E.figure_spec(name, apps)
 
-    factory = E.FIGURE_SPECS[name]
-    if apps and "apps" in inspect.signature(factory).parameters:
-        return factory(apps=apps)
-    return factory()
+
+def _cmd_serve(args) -> int:
+    """Run the simulation daemon until SIGTERM/SIGINT (exit 0)."""
+    import asyncio
+
+    from repro.service.daemon import ServiceConfig, serve
+
+    host, port = None, 0
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ValueError(f"--tcp expects HOST:PORT, got {args.tcp!r}")
+        port = int(port_text)
+    config = ServiceConfig(
+        socket_path=args.socket,
+        host=host,
+        port=port,
+        cache_path=args.cache,
+        workers=max(1, args.workers),
+        seed=args.seed,
+        job_timeout=args.job_timeout,
+        max_retries=args.retries,
+        max_queue=args.max_queue,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        flush_interval=args.flush_interval,
+    )
+    where = args.socket + (f" and {args.tcp}" if args.tcp else "")
+    print(f"repro service listening on {where} "
+          f"({config.workers} workers, cache {config.cache_path})")
+    return asyncio.run(serve(config))
+
+
+def _submission_jobs(args):
+    """(jobs, experiment, apps) for a ``repro submit`` spec argument."""
+    import json
+    import os
+
+    from repro.service.protocol import job_from_wire
+
+    if args.spec in E.FIGURE_SPECS:
+        apps = list(_apps_arg(args)) if _apps_arg(args) else None
+        return None, args.spec, apps
+    if args.spec.endswith(".json") or os.path.exists(args.spec):
+        with open(args.spec) as fh:
+            payload = json.load(fh)
+        jobs_payload = (
+            payload.get("jobs") if isinstance(payload, dict) else payload
+        )
+        if not isinstance(jobs_payload, list) or not jobs_payload:
+            raise ValueError(
+                f"{args.spec}: expected a {{'jobs': [...]}} object or a "
+                "non-empty job array"
+            )
+        return [job_from_wire(j) for j in jobs_payload], None, None
+    known = ", ".join(sorted(E.FIGURE_SPECS))
+    raise ValueError(
+        f"{args.spec!r} is neither a known figure ({known}) nor a "
+        "readable JSON spec file"
+    )
+
+
+def _cmd_submit(args) -> int:
+    """Submit to a running daemon; exit codes match the batch CLI."""
+    from repro.service.client import ServiceClient
+
+    jobs, experiment, apps = _submission_jobs(args)
+
+    def on_event(event: dict) -> None:
+        status = event.get("status", "?")
+        line = f"  [{event.get('job_id')}] {event.get('label')}: {status}"
+        if status == "done":
+            timing = event.get("timing") or {}
+            dedup = event.get("dedup")
+            mode = timing.get("mode", "?")
+            line += f" ({mode}"
+            if dedup:
+                line += f", dedup={dedup}"
+            if event.get("resumed_from_cycle") is not None:
+                line += f", resumed@{event['resumed_from_cycle']}"
+            line += f", {timing.get('seconds', 0.0):.2f}s)"
+        elif status == "failed":
+            failure = event.get("failure") or {}
+            line += f" ({failure.get('kind')}: {failure.get('message')})"
+        print(line)
+
+    with ServiceClient(socket_path=args.socket) as client:
+        result = client.submit(
+            jobs=jobs, experiment=experiment, apps=apps,
+            timeout=args.timeout, follow=not args.no_follow,
+            on_event=None if args.no_follow else on_event,
+        )
+    if not args.no_follow:
+        # Jobs answered terminally in the submit response (store hits,
+        # failures known up front) never stream an event — print their
+        # lines from the response entries instead.
+        streamed = {e.get("job_id") for e in result.events}
+        for entry in result.jobs:
+            if (entry["status"] in ("done", "failed")
+                    and entry["job_id"] not in streamed):
+                on_event(entry)
+    dedup_hits = sum(
+        1 for e in result.jobs if e.get("dedup") in ("store", "inflight")
+    )
+    if args.no_follow:
+        print(f"submitted {len(result.jobs)} job(s), "
+              f"{dedup_hits} dedup hit(s)")
+        return 0
+    failed = result.failed
+    print(f"{len(result.final)} job(s) finished, {dedup_hits} dedup "
+          f"hit(s), {len(failed)} failure(s)")
+    return 1 if failed else 0
+
+
+def _cmd_status(args) -> int:
+    """Query a daemon: stats table, job table, optional Perfetto trace."""
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(socket_path=args.socket) as client:
+        status = client.status()
+        trace = client.trace() if args.trace else None
+    stats = status.get("stats", {})
+    print(format_table(
+        ["field", "value"],
+        [
+            ["uptime", f"{status.get('uptime_ms', 0) / 1000.0:.1f}s"],
+            ["draining", status.get("draining")],
+            ["queue depth", f"{status.get('queue_depth')}"
+                            f"/{status.get('max_queue')}"],
+            ["workers", status.get("workers")],
+            ["submitted", stats.get("submitted")],
+            ["simulations", stats.get("simulations")],
+            ["dedup (store/inflight/batch)",
+             f"{stats.get('dedup_store')}/{stats.get('dedup_inflight')}"
+             f"/{stats.get('dedup_batch')}"],
+            ["timeouts", stats.get("timeouts")],
+            ["pool restarts", stats.get("pool_restarts")],
+        ],
+    ))
+    jobs = status.get("jobs", [])
+    if jobs:
+        print()
+        print(format_table(
+            ["id", "label", "status", "dedup", "attached"],
+            [[j["job_id"], j["label"], j["status"], j["dedup"] or "-",
+              j["attached"]] for j in jobs],
+        ))
+    if args.trace:
+        import json
+
+        with open(args.trace, "w") as fh:
+            json.dump(trace, fh)
+        print(f"\n(Perfetto trace written to {args.trace} — "
+              "open at https://ui.perfetto.dev)")
+    return 0
 
 
 def _cmd_faults(args) -> int:
@@ -610,7 +875,13 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "check":

@@ -194,6 +194,65 @@ class CheckpointEngineMismatchError(CheckpointSchemaError):
     kind = "checkpoint-engine-mismatch"
 
 
+class ServiceError(RuntimeError):
+    """Base class for simulation-service failures (:mod:`repro.service`).
+
+    Every subclass carries a machine-readable ``kind`` that crosses the
+    wire verbatim: the daemon serializes a rejected request as
+    ``{"ok": false, "error": {"kind", "message"}}`` and the client
+    re-raises the matching class, so ``except ServiceQueueFullError``
+    works identically in-process and across a socket.
+    """
+
+    kind = "service"
+
+
+class ServiceProtocolError(ServiceError):
+    """A wire frame was malformed: not JSON, not an object, missing a
+    required field, an unknown operation, or an oversized line."""
+
+    kind = "protocol"
+
+
+class ServiceVersionError(ServiceProtocolError):
+    """The frame parses but speaks a different protocol schema version
+    than this peer — rejected rather than guessed at."""
+
+    kind = "version-skew"
+
+
+class ServiceSpecError(ServiceError):
+    """A structurally valid submission names something that does not
+    exist: an unknown app, technique kind, experiment, or an invalid
+    device configuration."""
+
+    kind = "bad-spec"
+
+
+class ServiceQueueFullError(ServiceError):
+    """The daemon's job queue is at ``max_queue``: backpressure.  The
+    client should retry later (nothing was enqueued)."""
+
+    kind = "queue-full"
+
+
+class ServiceUnavailableError(ServiceError):
+    """The daemon is draining toward shutdown (or the client could not
+    reach it at all); new submissions are refused."""
+
+    kind = "unavailable"
+
+
+# kind -> class, for re-raising a wire error frame as the typed original.
+SERVICE_ERRORS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        ServiceError, ServiceProtocolError, ServiceVersionError,
+        ServiceSpecError, ServiceQueueFullError, ServiceUnavailableError,
+    )
+}
+
+
 class InterruptedRun(RuntimeError):
     """The operator interrupted an orchestrated batch (SIGINT).
 

@@ -415,6 +415,83 @@ def _kill_mid_run_scenario(
     )
 
 
+def _daemon_kill_worker_scenario(
+    seed: int, workers: int, workdir: str
+) -> FaultOutcome:
+    """SIGKILL a pool worker *under the service daemon*; the daemon's
+    retry path must resume from the surviving checkpoint and finish the
+    job bit-identically — the asyncio twin of the orchestrator's
+    kill-mid-run probe, exercising the pool-recycle + singleflight
+    machinery instead of `_run_pool_round`."""
+    import asyncio
+
+    from repro.service.daemon import ServiceConfig, SimulationService
+
+    ref_job = JobSpec(
+        app="Gaussian", config=HARNESS_CONFIG,
+        technique=TechniqueSpec("baseline"),
+    )
+    ref_orch = Orchestrator(
+        ExperimentRunner(target_ctas_per_sm=2, seed=seed), workers=1
+    )
+    ref = ref_orch.run_jobs([ref_job])[ref_job]
+
+    kill_cycle = max(200, ref.cycles // 2)
+    interval = max(50, kill_cycle // 3)
+    marker = os.path.join(workdir, "daemon-kill.marker")
+    job = JobSpec(
+        app="Gaussian", config=HARNESS_CONFIG,
+        technique=TechniqueSpec.of(
+            "kill-mid-run", kill_cycle=kill_cycle, marker_path=marker
+        ),
+    )
+    service_config = ServiceConfig(
+        socket_path=os.path.join(workdir, "daemon-kill.sock"),
+        cache_path=os.path.join(workdir, "daemon-kill-cache.json"),
+        workers=max(2, workers), seed=seed, target_ctas_per_sm=2,
+        max_retries=2, retry_backoff=0.01,
+        checkpoint_dir=os.path.join(workdir, "daemon-kill-ckpts"),
+        checkpoint_interval=interval, flush_interval=0,
+    )
+
+    async def drive():
+        service = SimulationService(service_config)
+        await service.start()
+        try:
+            results = service.submit([job])
+            await asyncio.gather(
+                *[s.task for s, _ in results if s.task is not None]
+            )
+            return service, results[0][0]
+        finally:
+            await service.aclose()
+
+    service, state = asyncio.run(drive())
+    recovered = isinstance(state.record, RunRecord)
+    timing = state.timing
+    retried = timing is not None and timing.attempts >= 2
+    resumed = state.resumed_from_cycle is not None
+    restarted = service.stats["pool_restarts"] >= 1
+    identical = recovered and (
+        dataclasses.replace(state.record, technique=ref.technique) == ref
+    )
+    detected = recovered and retried and resumed and restarted and identical
+    return FaultOutcome(
+        "daemon-kill-worker/resume", "kill-mid-run", "service",
+        detected=detected,
+        detector="daemon-retry+resume" if detected else "",
+        cycles=state.resumed_from_cycle,
+        detail=(
+            f"daemon absorbed SIGKILL at cycle {kill_cycle}: pool "
+            f"recycled, retry resumed from cycle "
+            f"{state.resumed_from_cycle}, record bit-identical"
+            if detected else
+            f"recovered={recovered} retried={retried} resumed={resumed} "
+            f"pool_restarted={restarted} identical={identical}"
+        ),
+    )
+
+
 # -- harness-layer scenarios -------------------------------------------------------
 def _harness_scenarios(seed: int, workers: int, workdir: str) -> list[FaultOutcome]:
     outcomes = []
@@ -579,6 +656,9 @@ def run_campaign(
             if include_kill_mid_run:
                 outcomes.append(
                     _kill_mid_run_scenario(seed, workers, workdir)
+                )
+                outcomes.append(
+                    _daemon_kill_worker_scenario(seed, workers, workdir)
                 )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)

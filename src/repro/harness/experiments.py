@@ -645,3 +645,25 @@ FIGURE_SPECS: dict[str, callable] = {
     "fig12b": lambda: fig12_spec(half_rf=True),
     "fig13": fig13_spec,
 }
+
+
+def figure_spec(
+    name: str, apps: tuple[str, ...] | None = None
+) -> ExperimentSpec:
+    """Build one figure spec by name, forwarding ``apps`` where the
+    factory takes it (fig12*/fig13 have fixed app sets).
+
+    The one resolution path both the CLI (``repro bench``) and the
+    service daemon (named-experiment submissions) use; raises
+    ``KeyError`` listing the known names on a typo.
+    """
+    import inspect
+
+    try:
+        factory = FIGURE_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(FIGURE_SPECS))
+        raise KeyError(f"unknown figure {name!r} (known: {known})") from None
+    if apps and "apps" in inspect.signature(factory).parameters:
+        return factory(apps=tuple(apps))
+    return factory()

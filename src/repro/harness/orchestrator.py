@@ -38,11 +38,14 @@ Failure handling distinguishes three regimes:
   flushed to the cache along with partial telemetry, and a typed
   :class:`repro.errors.InterruptedRun` carrying the completed/total
   counts replaces the raw traceback.
-* **Timeouts** (``job_timeout`` seconds pass with a round's jobs still
-  in flight): the wedged pool is abandoned (not joined — a hung worker
-  would block shutdown forever) and the unfinished jobs fail with kind
-  ``timeout``.  Not retried: a hang long enough to trip the watchdog
-  timeout would cost another full timeout to re-confirm.
+* **Timeouts**: each job carries its own wall-clock deadline — a
+  per-job override (``run_jobs(..., timeouts=...)``, the path a service
+  client's per-submit timeout rides) or the session ``job_timeout``
+  default.  An overdue job fails with kind ``timeout`` while on-time
+  siblings keep running; if its worker is still wedged when everything
+  else finishes, the pool is abandoned (not joined — a hung worker
+  would block shutdown forever).  Not retried: a hang long enough to
+  trip the watchdog would cost another full timeout to re-confirm.
 
 Per-job wall time, attempts, cache hits/misses, failure kinds, and
 worker utilization are recorded in a :class:`SessionTelemetry`
@@ -61,7 +64,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import (
     FAILURE_RUNTIME,
@@ -84,6 +87,20 @@ from repro.harness.telemetry import (
     MODE_POOL,
     SessionTelemetry,
 )
+
+
+def ordered_unique_jobs(jobs: Iterable[JobSpec]) -> tuple[JobSpec, ...]:
+    """Deduplicate a job stream, keeping first-declared order.
+
+    The batch-level dedup both the orchestrator and the service daemon
+    apply before touching the run store: a figure suite (or a client
+    submission spanning several figures) re-requests many jobs, and the
+    union is computed once, in the order jobs first appeared.
+    """
+    seen: dict[JobSpec, None] = {}
+    for job in jobs:
+        seen.setdefault(job)
+    return tuple(seen)
 
 
 def _simulate(
@@ -194,11 +211,21 @@ class Orchestrator:
             for spec in specs
         }
 
-    def run_jobs(self, jobs: Iterable[JobSpec]) -> dict[JobSpec, object]:
-        """Execute a job set; returns JobSpec -> RunRecord | JobFailure."""
-        ordered: dict[JobSpec, None] = {}
-        for job in jobs:
-            ordered.setdefault(job)
+    def run_jobs(
+        self,
+        jobs: Iterable[JobSpec],
+        timeouts: Mapping[JobSpec, float] | None = None,
+    ) -> dict[JobSpec, object]:
+        """Execute a job set; returns JobSpec -> RunRecord | JobFailure.
+
+        ``timeouts`` maps individual jobs to a wall-clock budget that
+        *overrides* the session-wide ``job_timeout`` for that job only —
+        the end-to-end propagation path a service client's per-submit
+        timeout rides (spec → daemon → worker).  Timeouts apply to
+        pool dispatch (``workers > 1``); the inline path cannot preempt
+        a simulation it is itself running.
+        """
+        ordered = ordered_unique_jobs(jobs)
 
         self.telemetry.start()
         outcomes: dict[JobSpec, object] = {}
@@ -222,7 +249,7 @@ class Orchestrator:
             if self.workers == 1 or not pending:
                 self._run_inline(pending, outcomes)
             else:
-                self._run_pool(pending, outcomes)
+                self._run_pool(pending, outcomes, timeouts or {})
         except KeyboardInterrupt as exc:
             # Ctrl-C mid-batch: keep everything already computed.  The
             # journaled runner has each finished record on disk already;
@@ -263,6 +290,7 @@ class Orchestrator:
         self,
         pending: Sequence[tuple[JobSpec, str]],
         outcomes: dict[JobSpec, object],
+        timeouts: Mapping[JobSpec, float],
     ) -> None:
         queue = [(job, key, 1) for job, key in pending]
         round_no = 0
@@ -270,13 +298,23 @@ class Orchestrator:
             if round_no > 0:
                 # Exponential backoff before re-dispatching crashed work.
                 time.sleep(self.retry_backoff * (2 ** (round_no - 1)))
-            queue = self._run_pool_round(queue, outcomes)
+            queue = self._run_pool_round(queue, outcomes, timeouts)
             round_no += 1
+
+    def _effective_timeout(
+        self, job: JobSpec, timeouts: Mapping[JobSpec, float]
+    ) -> float | None:
+        """Per-job override first, session default second, else none."""
+        timeout = timeouts.get(job, self.job_timeout)
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"per-job timeout must be positive: {job.label}")
+        return timeout
 
     def _run_pool_round(
         self,
         batch: Sequence[tuple[JobSpec, str, int]],
         outcomes: dict[JobSpec, object],
+        timeouts: Mapping[JobSpec, float],
     ) -> list[tuple[JobSpec, str, int]]:
         """One dispatch round on a fresh pool; returns jobs to retry.
 
@@ -285,48 +323,68 @@ class Orchestrator:
         and a timed-out round leaves workers possibly wedged — the old
         pool is abandoned with ``shutdown(wait=False)`` rather than
         joined.
+
+        Each job carries its *own* deadline (dispatch time + its
+        effective timeout); an overdue job fails with kind ``timeout``
+        while on-time siblings keep running.  The pool is only
+        abandoned (workers terminated) when an expired job's worker is
+        still wedged after everything else finished — an expired job's
+        late result is discarded either way.
         """
         pool = ProcessPoolExecutor(max_workers=min(self.workers, len(batch)))
-        futures = {
-            pool.submit(
+        start = time.monotonic()
+        futures = {}
+        deadlines: dict[object, float] = {}
+        for job, key, attempt in batch:
+            future = pool.submit(
                 _simulate, job, self.runner.seed,
                 self.runner.target_ctas_per_sm,
                 self._job_checkpoint_dir(key), self.checkpoint_interval,
-            ): (job, key, attempt)
-            for job, key, attempt in batch
-        }
+            )
+            futures[future] = (job, key, attempt)
+            timeout = self._effective_timeout(job, timeouts)
+            if timeout is not None:
+                deadlines[future] = start + timeout
         remaining = set(futures)
-        deadline = (
-            time.monotonic() + self.job_timeout if self.job_timeout else None
-        )
+        expired: set = set()
         retry: list[tuple[JobSpec, str, int]] = []
         abandoned = False
         try:
             while remaining:
+                next_deadline = min(
+                    (deadlines[f] for f in remaining if f in deadlines),
+                    default=None,
+                )
                 timeout = (
-                    None if deadline is None
-                    else max(0.0, deadline - time.monotonic())
+                    None if next_deadline is None
+                    else max(0.0, next_deadline - time.monotonic())
                 )
                 done, remaining = wait(
                     remaining, timeout=timeout, return_when=FIRST_COMPLETED
                 )
                 if not done:
-                    # job_timeout elapsed with work still in flight:
-                    # declare the stragglers timed out and abandon the
-                    # (possibly wedged) pool.
-                    for future in remaining:
+                    # A deadline elapsed with its job still in flight:
+                    # declare exactly the overdue jobs timed out; their
+                    # siblings keep their own clocks.
+                    now = time.monotonic()
+                    overdue = {
+                        f for f in remaining
+                        if f in deadlines and deadlines[f] <= now
+                    }
+                    for future in overdue:
                         job, key, attempt = futures[future]
+                        budget = deadlines[future] - start
                         self._finish_job(
                             job, key, None,
                             (FAILURE_TIMEOUT,
-                             f"job still running after {self.job_timeout:.1f}s "
+                             f"job still running after {budget:.1f}s "
                              "timeout; worker abandoned"),
-                            self.job_timeout, MODE_POOL, outcomes,
+                            budget, MODE_POOL, outcomes,
                             attempts=attempt,
                         )
-                    remaining = set()
-                    abandoned = True
-                    break
+                    remaining -= overdue
+                    expired |= overdue
+                    continue
                 for future in done:
                     job, key, attempt = futures[future]
                     try:
@@ -350,6 +408,11 @@ class Orchestrator:
                     self._finish_job(job, key, record, failure, seconds,
                                      MODE_POOL, outcomes, attempts=attempt,
                                      resumed_from_cycle=resumed)
+            if any(not f.done() for f in expired):
+                # An expired job's worker is still wedged after all
+                # on-time work finished — abandon the pool rather than
+                # join it (a hung worker would block shutdown forever).
+                abandoned = True
         except KeyboardInterrupt:
             # Operator interrupt: cancel what never started, kill the
             # workers (their checkpoints, if any, survive on disk), and
@@ -362,11 +425,12 @@ class Orchestrator:
             raise
         finally:
             if abandoned:
-                # Every unfinished job was already declared timed out,
-                # so the workers (wedged or not) have no results anyone
-                # will read — kill them.  Without this, the executor's
-                # atexit hook would join the hung processes and block
-                # interpreter shutdown for as long as they stay wedged.
+                # Every abandoned job was already declared timed out
+                # (or interrupted), so the workers have no results
+                # anyone will read — kill them.  Without this, the
+                # executor's atexit hook would join the hung processes
+                # and block interpreter shutdown as long as they stay
+                # wedged.
                 for proc in getattr(pool, "_processes", {}).values():
                     proc.terminate()
             pool.shutdown(wait=not abandoned, cancel_futures=True)

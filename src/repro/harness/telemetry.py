@@ -6,12 +6,24 @@ session's wall time.  :class:`SessionTelemetry` aggregates those into
 the numbers ``repro bench`` reports: cache hit/miss counts, total
 simulation time, and worker utilization (simulated seconds divided by
 ``workers x wall seconds``, i.e. how full the pool's issue slots were).
+
+Both classes round-trip through plain dicts (:meth:`JobTiming.to_dict`
+/ :meth:`JobTiming.from_dict`, and the session-level equivalents with a
+``schema`` marker): the service wire protocol streams per-job timings
+to clients and the ``BENCH_<label>.json`` perf artifacts embed them,
+and both deliberately share this one codepath instead of leaning on
+dataclass internals.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+# Version of the serialized JobTiming/SessionTelemetry dict layout.
+# Bump when a field is renamed or its meaning changes; adding optional
+# fields is backward-compatible and does not require a bump.
+TELEMETRY_SCHEMA_VERSION = 1
 
 # Where a job's result came from.
 MODE_CACHED = "cached"    # found in the runner's memo/disk cache
@@ -51,6 +63,56 @@ class JobTiming:
         if self.cycles is None or self.cached or self.seconds <= 0:
             return None
         return self.cycles / self.seconds
+
+    # -- wire/artifact serialization ------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict: every field plus the derived ``cycles_per_sec``.
+
+        This exact layout is both the perf artifact's per-job entry and
+        the service protocol's ``timing`` payload.
+        """
+        cps = self.cycles_per_sec
+        return {
+            "label": self.label,
+            "mode": self.mode,
+            "seconds": round(self.seconds, 6),
+            "cycles": self.cycles,
+            "cycles_per_sec": round(cps, 1) if cps is not None else None,
+            "failed": self.failed,
+            "failure_kind": self.failure_kind,
+            "attempts": self.attempts,
+            "resumed_from_cycle": self.resumed_from_cycle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobTiming":
+        """Rebuild a timing from :meth:`to_dict` output.
+
+        Derived fields (``cycles_per_sec``) and unknown keys are
+        ignored so newer producers interoperate with older consumers;
+        missing required keys raise ``ValueError``.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"JobTiming payload is {type(data).__name__}, not dict"
+            )
+        try:
+            label, mode = data["label"], data["mode"]
+            seconds = float(data["seconds"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"JobTiming payload missing/invalid: {exc}")
+        if not isinstance(label, str) or not isinstance(mode, str):
+            raise ValueError("JobTiming label/mode must be strings")
+        return cls(
+            label=label,
+            seconds=seconds,
+            mode=mode,
+            failed=bool(data.get("failed", False)),
+            failure_kind=data.get("failure_kind"),
+            attempts=int(data.get("attempts", 1)),
+            cycles=data.get("cycles"),
+            resumed_from_cycle=data.get("resumed_from_cycle"),
+        )
 
 
 @dataclass
@@ -131,3 +193,32 @@ class SessionTelemetry:
         """The ``n`` slowest simulated (non-cached) jobs."""
         simulated = [t for t in self.timings if not t.cached]
         return sorted(simulated, key=lambda t: -t.seconds)[:n]
+
+    # -- wire/artifact serialization ------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe session dump with a ``schema`` marker."""
+        return {
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "timings": [t.to_dict() for t in self.timings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionTelemetry":
+        """Rebuild a session from :meth:`to_dict` output (schema-checked)."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"telemetry payload is {type(data).__name__}, not dict"
+            )
+        schema = data.get("schema")
+        if schema != TELEMETRY_SCHEMA_VERSION:
+            raise ValueError(
+                f"telemetry schema {schema!r} != "
+                f"expected {TELEMETRY_SCHEMA_VERSION}"
+            )
+        return cls(
+            workers=int(data.get("workers", 1)),
+            timings=[JobTiming.from_dict(t) for t in data.get("timings", ())],
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+        )

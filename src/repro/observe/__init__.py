@@ -18,6 +18,12 @@ from repro.observe.events import (
     CTA_RETIRE,
     FAST_FORWARD,
     ISSUE,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_KINDS,
+    JOB_QUEUED,
+    JOB_RESUMED,
+    JOB_RUNNING,
     RELEASE,
     SECTION_ACQUIRE,
     SECTION_RELEASE,
@@ -29,6 +35,7 @@ from repro.observe.events import (
 )
 from repro.observe.export import (
     chrome_trace_events,
+    job_trace_events,
     timeline_rows,
     validate_chrome_trace,
     validate_trace_file,
@@ -57,6 +64,12 @@ __all__ = [
     "EventLog",
     "FAST_FORWARD",
     "ISSUE",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_KINDS",
+    "JOB_QUEUED",
+    "JOB_RESUMED",
+    "JOB_RUNNING",
     "ObservingTechniqueState",
     "PERF_ARTIFACT_VERSION",
     "ProbeSample",
@@ -73,6 +86,7 @@ __all__ = [
     "WATCHDOG",
     "artifact_filename",
     "chrome_trace_events",
+    "job_trace_events",
     "load_perf_artifact",
     "perf_artifact",
     "profile_kernel",

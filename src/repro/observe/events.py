@@ -59,13 +59,30 @@ SECTION_RELEASE = "section_release"
 # the provenance (-1 when the violation has no warp subject).
 SANITIZER = "sanitizer"
 
+# Service job lifecycle (emitted by the simulation daemon,
+# :mod:`repro.service`).  These ride the same bus as simulator events
+# but live on wall-clock time, not simulated cycles: ``cycle`` is
+# milliseconds since the daemon started, ``value`` the daemon job id,
+# ``detail`` the job label (JOB_DONE appends the execution mode,
+# JOB_FAILED the failure kind, JOB_RESUMED carries the resume cycle in
+# ``pc``).
+JOB_QUEUED = "job_queued"
+JOB_RUNNING = "job_running"
+JOB_RESUMED = "job_resumed"
+JOB_DONE = "job_done"
+JOB_FAILED = "job_failed"
+
 STALL_CATEGORIES = ("memory", "scoreboard", "barrier", "acquire")
+
+JOB_KINDS = frozenset({
+    JOB_QUEUED, JOB_RUNNING, JOB_RESUMED, JOB_DONE, JOB_FAILED,
+})
 
 ALL_KINDS = frozenset({
     ISSUE, ACQUIRE_OK, ACQUIRE_BLOCKED, RELEASE, WARP_FINISH,
     CTA_LAUNCH, CTA_RETIRE, STALL, FAST_FORWARD, WATCHDOG,
     SECTION_ACQUIRE, SECTION_RELEASE, SANITIZER, CHECKPOINT, RESTORE,
-})
+}) | JOB_KINDS
 
 
 @dataclass(frozen=True, slots=True)

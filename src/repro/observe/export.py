@@ -31,6 +31,12 @@ from repro.observe.events import (
     CTA_LAUNCH,
     CTA_RETIRE,
     ISSUE,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_KINDS,
+    JOB_QUEUED,
+    JOB_RESUMED,
+    JOB_RUNNING,
     RELEASE,
     SANITIZER,
     SECTION_ACQUIRE,
@@ -229,6 +235,59 @@ def _counter_track_events(samples: ProbeSeries, sm_id: int) -> list[dict]:
             for s, issued in enumerate(samples.sched_issued[i]):
                 out.append(_counter(sm_id, TID_SCHEDULER_BASE + s, ts,
                                     "issued", {"instructions": issued}))
+    return out
+
+
+def job_trace_events(log: EventLog, pid: int = 0) -> list[dict]:
+    """Convert service job-lifecycle events into Chrome trace events.
+
+    One thread per daemon job (``tid`` = job id), a ``running`` span
+    from JOB_RUNNING to JOB_DONE/JOB_FAILED, and instants for queueing
+    and checkpoint resumes.  Timestamps are the events' wall-clock
+    milliseconds (the daemon stamps ``cycle`` that way for JOB_* kinds),
+    so daemon traces render on a real timeline rather than simulated
+    cycles.  Spans still open at the end of the log (jobs in flight
+    when the trace was fetched) are closed at the last timestamp so the
+    B/E contract :func:`validate_chrome_trace` enforces holds.
+    """
+    out: list[dict] = [_meta(pid, 0, "process_name", "repro service")]
+    named: set[int] = set()
+    open_run: dict[int, str] = {}    # job id -> open span name
+    last_ts = 0
+
+    def tid(e) -> int:
+        if e.value not in named:
+            named.add(e.value)
+            out.append(_meta(pid, e.value, "thread_name",
+                             f"job {e.value}: {e.detail or '?'}"))
+        return e.value
+
+    for e in log:
+        if e.kind not in JOB_KINDS:
+            continue
+        last_ts = max(last_ts, e.cycle)
+        if e.kind == JOB_QUEUED:
+            out.append({"ph": "i", "ts": e.cycle, "pid": pid, "tid": tid(e),
+                        "name": "queued", "s": "t"})
+        elif e.kind == JOB_RUNNING:
+            if e.value not in open_run:
+                name = e.detail or "running"
+                open_run[e.value] = name
+                out.append(_span(pid, tid(e), "B", e.cycle, name))
+        elif e.kind == JOB_RESUMED:
+            out.append({"ph": "i", "ts": e.cycle, "pid": pid, "tid": tid(e),
+                        "name": f"resumed from cycle {e.pc}", "s": "t"})
+        elif e.kind in (JOB_DONE, JOB_FAILED):
+            t = tid(e)
+            name = open_run.pop(e.value, None)
+            if name is not None:
+                out.append(_span(pid, t, "E", e.cycle, name))
+            label = "done" if e.kind == JOB_DONE else "failed"
+            out.append({"ph": "i", "ts": e.cycle, "pid": pid, "tid": t,
+                        "name": f"{label}: {e.detail or ''}".rstrip(": "),
+                        "s": "t"})
+    for job_id, name in open_run.items():
+        out.append(_span(pid, job_id, "E", last_ts, name))
     return out
 
 

@@ -45,24 +45,14 @@ def artifact_filename(label: str) -> str:
 
 def perf_artifact(label: str, telemetry: SessionTelemetry) -> dict:
     """Build the artifact dict from one orchestration session."""
+    # Per-job entries are JobTiming.to_dict() verbatim: the perf
+    # artifact and the service wire protocol share one serialization.
     jobs = []
     total_cycles = 0
     for t in telemetry.timings:
-        cps = None
-        if t.cycles is not None and t.seconds > 0 and not t.cached:
-            cps = t.cycles / t.seconds
         if t.cycles is not None:
             total_cycles += t.cycles
-        jobs.append({
-            "label": t.label,
-            "mode": t.mode,
-            "seconds": round(t.seconds, 6),
-            "cycles": t.cycles,
-            "cycles_per_sec": round(cps, 1) if cps is not None else None,
-            "failed": t.failed,
-            "failure_kind": t.failure_kind,
-            "attempts": t.attempts,
-        })
+        jobs.append(t.to_dict())
     hits, misses = telemetry.cache_hits, telemetry.cache_misses
     total = hits + misses
     sim_seconds = telemetry.sim_seconds

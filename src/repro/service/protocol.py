@@ -1,0 +1,172 @@
+"""Wire protocol of the simulation service: newline-delimited JSON.
+
+One frame per line, UTF-8 JSON objects, every frame carrying the
+protocol schema version under ``"v"``.  The framing is deliberately the
+dumbest thing that works over both a Unix-domain socket and TCP: a
+client can be three lines of netcat, and the daemon never needs to
+buffer more than one line (oversized lines are a typed protocol error,
+not an allocation).
+
+Frame shapes:
+
+* request — ``{"v": 1, "op": "submit" | "status" | "trace" | "ping",
+  ...}``
+* response — ``{"v": 1, "ok": true, ...}`` or
+  ``{"v": 1, "ok": false, "error": {"kind", "message"}}``; the ``kind``
+  is a :data:`repro.errors.SERVICE_ERRORS` key, so
+  :func:`raise_wire_error` re-raises the daemon's typed exception in
+  the client process.
+* event — ``{"v": 1, "event": "job", "job_id", "status", ...}``
+  streamed while a followed submission executes.
+
+Job serialization round-trips the harness dataclasses explicitly
+(:func:`job_to_wire` / :func:`job_from_wire`) rather than pickling:
+the wire is inspectable, versioned, and cannot execute anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.arch.config import GpuConfig
+from repro.errors import (
+    SERVICE_ERRORS,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceSpecError,
+    ServiceVersionError,
+)
+from repro.harness.runner import RunRecord
+from repro.harness.spec import JobSpec, TechniqueSpec
+from repro.workloads.suite import get_app
+
+PROTOCOL_VERSION = 1
+
+# A frame larger than this is rejected before parsing: the daemon's
+# read buffer is bounded and a malicious/broken peer cannot balloon it.
+MAX_FRAME_BYTES = 1 << 20
+
+
+def encode_frame(frame: dict) -> bytes:
+    """Serialize one frame (the version is stamped in, never trusted)."""
+    payload = dict(frame)
+    payload["v"] = PROTOCOL_VERSION
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse and version-check one received line.
+
+    Raises :class:`ServiceProtocolError` for anything that is not a
+    JSON object on one line, :class:`ServiceVersionError` when the
+    object speaks a different protocol version.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ServiceProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceProtocolError(f"frame is not valid JSON: {exc}")
+    if not isinstance(frame, dict):
+        raise ServiceProtocolError(
+            f"frame is {type(frame).__name__}, expected object"
+        )
+    version = frame.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ServiceVersionError(
+            f"frame speaks protocol version {version!r}, "
+            f"this peer speaks {PROTOCOL_VERSION}"
+        )
+    return frame
+
+
+def error_frame(exc: Exception) -> dict:
+    """The ``ok: false`` response for a (preferably typed) exception."""
+    kind = getattr(exc, "kind", ServiceError.kind)
+    if kind not in SERVICE_ERRORS:
+        kind = ServiceError.kind
+    return {"ok": False, "error": {"kind": kind, "message": str(exc)}}
+
+
+def raise_wire_error(frame: dict) -> None:
+    """Re-raise a received ``ok: false`` frame as its typed original."""
+    error = frame.get("error")
+    if not isinstance(error, dict):
+        raise ServiceProtocolError(f"malformed error frame: {frame!r}")
+    cls = SERVICE_ERRORS.get(error.get("kind"), ServiceError)
+    raise cls(str(error.get("message", "unspecified service error")))
+
+
+# -- job serialization --------------------------------------------------------
+def job_to_wire(job: JobSpec) -> dict:
+    """Explicit dict form of one (app, config, technique) job."""
+    return {
+        "app": job.app,
+        "config": dataclasses.asdict(job.config),
+        "technique": {
+            "kind": job.technique.kind,
+            "params": dict(job.technique.params),
+        },
+    }
+
+
+def job_from_wire(data: object) -> JobSpec:
+    """Rebuild a :class:`JobSpec`, rejecting anything unknown as
+    :class:`ServiceSpecError` (app, technique kind, config field, or an
+    invalid config value)."""
+    if not isinstance(data, dict):
+        raise ServiceSpecError(
+            f"job payload is {type(data).__name__}, expected object"
+        )
+    app = data.get("app")
+    if not isinstance(app, str):
+        raise ServiceSpecError("job payload missing string 'app'")
+    try:
+        get_app(app)
+    except KeyError as exc:
+        raise ServiceSpecError(str(exc.args[0] if exc.args else exc))
+
+    technique = data.get("technique", {"kind": "baseline"})
+    if isinstance(technique, str):
+        technique = {"kind": technique}
+    if not isinstance(technique, dict) or not isinstance(
+        technique.get("kind"), str
+    ):
+        raise ServiceSpecError("job 'technique' must be a kind string or "
+                               "{'kind', 'params'} object")
+    params = technique.get("params", {})
+    if not isinstance(params, dict):
+        raise ServiceSpecError("technique 'params' must be an object")
+    try:
+        tspec = TechniqueSpec.of(technique["kind"], **params)
+    except (KeyError, TypeError) as exc:
+        raise ServiceSpecError(str(exc.args[0] if exc.args else exc))
+
+    config_fields = data.get("config", {})
+    if not isinstance(config_fields, dict):
+        raise ServiceSpecError("job 'config' must be an object of "
+                               "GpuConfig fields")
+    try:
+        config = GpuConfig(**config_fields)
+    except (TypeError, ValueError) as exc:
+        raise ServiceSpecError(f"invalid device config: {exc}")
+    return JobSpec(app=app, config=config, technique=tspec)
+
+
+def record_to_wire(record: RunRecord) -> dict:
+    return dataclasses.asdict(record)
+
+
+def record_from_wire(data: object) -> RunRecord:
+    if not isinstance(data, dict):
+        raise ServiceProtocolError(
+            f"record payload is {type(data).__name__}, expected object"
+        )
+    try:
+        return RunRecord(**data)
+    except TypeError as exc:
+        raise ServiceProtocolError(f"invalid record payload: {exc}")

@@ -89,9 +89,16 @@ class TestKillMidRun:
             seed=2018, include_harness=True, workers=2,
             include_kill_mid_run=True,
         )
-        assert len(outcomes) == 14
+        assert len(outcomes) == 15
         kill = next(o for o in outcomes if o.fault == "kill-mid-run")
         assert kill.detected, kill.detail
         assert kill.detector == "checkpoint-resume"
         assert kill.cycles is not None and kill.cycles > 0  # resume cycle
         assert "bit-identical" in kill.detail
+        # The daemon twin: the same SIGKILL absorbed by the service's
+        # pool-recycle + retry path instead of the orchestrator's.
+        daemon = next(o for o in outcomes if o.layer == "service")
+        assert daemon.scenario == "daemon-kill-worker/resume"
+        assert daemon.detected, daemon.detail
+        assert daemon.detector == "daemon-retry+resume"
+        assert daemon.cycles is not None and daemon.cycles > 0

@@ -99,6 +99,27 @@ class TestJobTimeout:
         assert outcome.kind == "timeout"
         assert orch.telemetry.failures_by_kind() == {"timeout": 1}
 
+    def test_per_job_timeout_overrides_session_default(self):
+        """A per-job timeout must cut one job's budget without touching
+        its siblings: the hung job fails typed while the sibling on the
+        same pool round completes normally."""
+        hung = _job(TechniqueSpec.of(
+            "faulty-worker", mode="worker-sleep", delay_seconds=8.0
+        ))
+        sibling = _job(TechniqueSpec.of("baseline"))
+        orch = _orchestrator(workers=2, job_timeout=120.0, max_retries=0)
+        outcomes = orch.run_jobs([hung, sibling], timeouts={hung: 0.5})
+        assert isinstance(outcomes[hung], JobFailure)
+        assert outcomes[hung].kind == "timeout"
+        assert isinstance(outcomes[sibling], RunRecord)
+        assert orch.telemetry.failures_by_kind() == {"timeout": 1}
+
+    def test_nonpositive_per_job_timeout_rejected(self):
+        job = _job(TechniqueSpec.of("baseline"))
+        orch = _orchestrator(workers=2)
+        with pytest.raises(ValueError, match="timeout"):
+            orch.run_jobs([job], timeouts={job: 0.0})
+
 
 class TestValidation:
     def test_bad_job_timeout_rejected(self):

@@ -1,0 +1,93 @@
+"""CLI surface of the service: ``repro list --json``, spec parsing for
+``repro submit``, and a full submit/status/trace round trip against a
+daemon subprocess (dedup hit on resubmission, SIGTERM exit 0)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.service.protocol import job_to_wire
+from repro.workloads.suite import APPLICATIONS
+
+from tests.service.conftest import make_job, start_daemon, stop_daemon
+
+
+class TestListJson:
+    def test_listing_is_machine_readable(self, capsys):
+        assert cli.main(["list", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert set(listing) >= {"experiments", "figures", "techniques",
+                                "apps"}
+        assert "fig7" in listing["figures"]
+        assert "baseline" in listing["techniques"]
+        apps = {a["name"]: a for a in listing["apps"]}
+        assert set(apps) == set(APPLICATIONS)
+        assert apps["Gaussian"]["regs"] > 0
+
+    def test_plain_listing_still_prose(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+        assert "fig7" in out
+
+
+class TestSubmitSpecParsing:
+    def test_unknown_spec_is_rejected(self, tmp_path):
+        args = cli._build_parser().parse_args(["submit", "figNaN"])
+        with pytest.raises(ValueError, match="figNaN"):
+            cli._submission_jobs(args)
+
+    def test_jobs_file_round_trips(self, tmp_path):
+        job = make_job()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"jobs": [job_to_wire(job)]}))
+        args = cli._build_parser().parse_args(["submit", str(spec_path)])
+        jobs, experiment, apps = cli._submission_jobs(args)
+        assert jobs == [job] and experiment is None
+
+    def test_figure_name_resolves_to_experiment(self):
+        args = cli._build_parser().parse_args(
+            ["submit", "fig7", "--apps", "Gaussian"]
+        )
+        jobs, experiment, apps = cli._submission_jobs(args)
+        assert jobs is None
+        assert experiment == "fig7" and apps == ["Gaussian"]
+
+
+@pytest.mark.faults
+class TestSubmitStatusRoundTrip:
+    def test_submit_twice_dedups_then_status_and_trace(
+        self, tmp_path, capsys
+    ):
+        job = make_job()
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"jobs": [job_to_wire(job)]}))
+        daemon, sock = start_daemon(tmp_path)
+        try:
+            assert cli.main(["submit", str(spec_path),
+                             "--socket", sock]) == 0
+            first = capsys.readouterr().out
+            assert "1 job(s) finished, 0 dedup hit(s)" in first
+            assert "(pool" in first
+
+            # Second submission: answered from the run store, zero
+            # simulation work.
+            assert cli.main(["submit", str(spec_path),
+                             "--socket", sock]) == 0
+            second = capsys.readouterr().out
+            assert "1 dedup hit(s)" in second
+            assert "dedup=store" in second
+
+            trace_path = tmp_path / "jobs.trace.json"
+            assert cli.main(["status", "--socket", sock,
+                             "--trace", str(trace_path)]) == 0
+            status_out = capsys.readouterr().out
+            assert "simulations" in status_out
+            trace = json.loads(trace_path.read_text())
+            assert trace["traceEvents"]
+        finally:
+            stop_daemon(daemon)   # SIGTERM drains and exits 0
