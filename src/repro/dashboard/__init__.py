@@ -1,0 +1,63 @@
+"""Results dashboard: per-commit BENCH history, noise-band gating, HTML.
+
+The loop the ROADMAP asked for ("Results dashboard and hard
+perf-regression gating") in three pieces:
+
+* :mod:`repro.dashboard.history` — an append-only, journaled
+  ``benchmarks/history.jsonl`` store: one checksummed line per
+  ``repro bench`` session, keyed by git SHA, with a loader that
+  tolerates torn tails and corrupt lines the way the run-store journal
+  does.  This is the commit-over-commit perf trail.
+* :mod:`repro.dashboard.gate` — a noise-band regression model over that
+  history (median ± k·MAD of recent same-machine entries) that replaces
+  the single-baseline percent check once enough history exists, so CI
+  fails only on changes outside the machine's own noise.
+* :mod:`repro.dashboard.render` — a zero-dependency static HTML
+  renderer (``repro dashboard``): throughput trends per engine, figure
+  diffs vs the paper's targets (:mod:`repro.dashboard.figures`), cache
+  and failure trends, and a stall-attribution flame sourced from the
+  observe bus.
+"""
+
+from repro.dashboard.figures import (
+    PAPER_TARGETS,
+    FigureTarget,
+    figure_diffs,
+    summarize_figures,
+)
+from repro.dashboard.gate import (
+    DEFAULT_GATE_K,
+    DEFAULT_MIN_ENTRIES,
+    DEFAULT_WINDOW,
+    GateResult,
+    NoiseBand,
+    evaluate_gate,
+    noise_band,
+)
+from repro.dashboard.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryEntry,
+    append_history,
+    load_history,
+)
+from repro.dashboard.render import render_dashboard, write_dashboard
+
+__all__ = [
+    "DEFAULT_GATE_K",
+    "DEFAULT_MIN_ENTRIES",
+    "DEFAULT_WINDOW",
+    "FigureTarget",
+    "GateResult",
+    "HISTORY_SCHEMA_VERSION",
+    "HistoryEntry",
+    "NoiseBand",
+    "PAPER_TARGETS",
+    "append_history",
+    "evaluate_gate",
+    "figure_diffs",
+    "load_history",
+    "noise_band",
+    "render_dashboard",
+    "summarize_figures",
+    "write_dashboard",
+]

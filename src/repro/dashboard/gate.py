@@ -1,0 +1,157 @@
+"""Noise-band perf gate: fail CI only outside the machine's own noise.
+
+The fixed ``--fail-threshold 50`` gate asks one committed artifact to
+stand in for every machine's notion of "normal", which forces the band
+absurdly wide.  With per-commit history the band can come from the
+data: take the last ``window`` same-machine entries for the series
+being gated, model normal as ``median ± k·MAD`` (median absolute
+deviation — robust, so one regressed commit in the history cannot drag
+the center), and fail the run only when its throughput falls below the
+band floor.  Faster-than-band is never a failure.
+
+Until a machine has ``min_entries`` of history the gate is
+*inconclusive* and callers fall back to the fixed-threshold check — the
+gate may never fail a run for lacking data (the same principle as
+:func:`repro.observe.perf.compare_perf_artifacts`'s inconclusive
+verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+from repro.dashboard.history import HistoryEntry
+from repro.observe.perf import (
+    STATUS_INCONCLUSIVE,
+    STATUS_OK,
+    STATUS_REGRESSED,
+)
+
+DEFAULT_WINDOW = 20
+DEFAULT_GATE_K = 4.0
+DEFAULT_MIN_ENTRIES = 5
+
+# MAD collapses to ~0 when history is eerily stable (or repeated), and
+# a zero-width band would fail the next run for existing.  Never let
+# the band floor sit closer than this fraction below the center.
+MIN_BAND_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class NoiseBand:
+    """``median ± k·MAD`` over one machine's recent throughput numbers."""
+
+    center: float
+    mad: float
+    lo: float
+    hi: float
+    n: int
+    k: float
+
+    def describe(self) -> str:
+        return (
+            f"band [{self.lo:,.0f}, {self.hi:,.0f}] cycles/sec "
+            f"(median {self.center:,.0f} ± {self.k:g}·MAD {self.mad:,.0f}, "
+            f"n={self.n})"
+        )
+
+
+def noise_band(values: list[float], k: float = DEFAULT_GATE_K) -> NoiseBand:
+    """Fit the band to a non-empty sample of throughput numbers."""
+    if not values:
+        raise ValueError("noise_band needs at least one value")
+    center = median(values)
+    mad = median(abs(v - center) for v in values)
+    half_width = max(k * mad, MIN_BAND_FRACTION * center)
+    return NoiseBand(
+        center=center,
+        mad=mad,
+        lo=center - half_width,
+        hi=center + half_width,
+        n=len(values),
+        k=k,
+    )
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """The gate's verdict for one bench session."""
+
+    status: str
+    message: str
+    band: NoiseBand | None = None
+    current: float | None = None
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == STATUS_REGRESSED
+
+    @property
+    def inconclusive(self) -> bool:
+        return self.status == STATUS_INCONCLUSIVE
+
+
+def evaluate_gate(
+    current_cps: float | None,
+    history: list[HistoryEntry],
+    *,
+    label: str | None = None,
+    machine: str | None = None,
+    window: int = DEFAULT_WINDOW,
+    k: float = DEFAULT_GATE_K,
+    min_entries: int = DEFAULT_MIN_ENTRIES,
+) -> GateResult:
+    """Gate one session's throughput against its own history.
+
+    Only entries from the same ``machine`` (and, when given, the same
+    ``label``) feed the band — cross-machine throughput comparisons are
+    exactly the noise this model exists to remove.  The caller passes
+    history *excluding* the session under test.
+    """
+    relevant = [
+        e for e in history
+        if e.cycles_per_sec is not None
+        and (machine is None or e.machine == machine)
+        and (label is None or e.label == label)
+    ]
+    relevant = relevant[-window:]
+    if len(relevant) < min_entries:
+        return GateResult(
+            status=STATUS_INCONCLUSIVE,
+            message=(
+                f"noise-band gate inconclusive: {len(relevant)} usable "
+                f"history entries (need {min_entries}) for "
+                f"machine={machine!r} label={label!r}"
+            ),
+            current=current_cps,
+        )
+    band = noise_band([e.cycles_per_sec for e in relevant], k=k)
+    if current_cps is None:
+        return GateResult(
+            status=STATUS_INCONCLUSIVE,
+            message=(
+                "noise-band gate inconclusive: session has no "
+                "cycles_per_sec (all jobs cached?)"
+            ),
+            band=band,
+        )
+    if current_cps < band.lo:
+        return GateResult(
+            status=STATUS_REGRESSED,
+            message=(
+                f"throughput {current_cps:,.0f} cycles/sec fell below the "
+                f"noise band: {band.describe()}"
+            ),
+            band=band,
+            current=current_cps,
+        )
+    return GateResult(
+        status=STATUS_OK,
+        message=(
+            f"throughput {current_cps:,.0f} cycles/sec within "
+            f"{band.describe()}"
+        ),
+        band=band,
+        current=current_cps,
+    )

@@ -1,0 +1,181 @@
+"""Per-commit BENCH history: an append-only journal of bench sessions.
+
+Every ``repro bench --history PATH`` appends one line to a JSONL
+journal — the full schema-1 perf artifact plus the provenance CI knows
+and the artifact doesn't: the git SHA, a timestamp, the executing
+machine, and an optional engine label.  The file is the substrate for
+both the noise-band gate (:mod:`repro.dashboard.gate`) and the trend
+charts (:mod:`repro.dashboard.render`).
+
+Durability follows the run-store journal's discipline
+(:mod:`repro.harness.runner`): one fsync'd JSON line per entry, a
+per-line checksum over the payload, and a loader that leaves a torn
+final line (a writer killed mid-append) unconsumed and skips corrupt
+complete lines instead of refusing the file.  History is *advisory
+infrastructure* — a half-written line must never take the gate or the
+dashboard down with it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+
+HISTORY_SCHEMA_VERSION = 1
+
+
+def _entry_checksum(payload: dict) -> str:
+    """Stable content hash of one entry's payload (sans the checksum)."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One bench session as recorded in the history journal."""
+
+    sha: str
+    timestamp: float
+    label: str
+    machine: str
+    engine: str | None
+    artifact: dict
+
+    # -- derived views the gate and renderer read ---------------------------
+    @property
+    def cycles_per_sec(self) -> float | None:
+        value = self.artifact.get("totals", {}).get("cycles_per_sec")
+        return float(value) if value is not None else None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return float(self.artifact.get("cache", {}).get("hit_rate", 0.0))
+
+    @property
+    def failures(self) -> int:
+        return int(self.artifact.get("totals", {}).get("failures", 0))
+
+    @property
+    def failure_kinds(self) -> dict[str, int]:
+        return dict(self.artifact.get("failure_kinds", {}))
+
+    @property
+    def figures(self) -> dict[str, dict[str, float]]:
+        return dict(self.artifact.get("figures", {}))
+
+    @property
+    def series(self) -> str:
+        """The trend line this entry belongs to (engine wins over label)."""
+        return self.engine or self.label
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": HISTORY_SCHEMA_VERSION,
+            "sha": self.sha,
+            "timestamp": round(self.timestamp, 3),
+            "label": self.label,
+            "machine": self.machine,
+            "engine": self.engine,
+            "artifact": self.artifact,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "HistoryEntry":
+        if payload.get("schema") != HISTORY_SCHEMA_VERSION:
+            raise ValueError(
+                f"history schema {payload.get('schema')!r} != "
+                f"{HISTORY_SCHEMA_VERSION}"
+            )
+        artifact = payload["artifact"]
+        if not isinstance(artifact, dict) or "totals" not in artifact:
+            raise ValueError("history entry has no artifact totals")
+        return cls(
+            sha=str(payload["sha"]),
+            timestamp=float(payload["timestamp"]),
+            label=str(payload.get("label", artifact.get("label", "run"))),
+            machine=str(payload.get("machine", "")),
+            engine=payload.get("engine"),
+            artifact=artifact,
+        )
+
+
+def default_machine() -> str:
+    """The machine label entries get unless the caller overrides it.
+
+    Noise bands only make sense within one machine's numbers, so CI
+    should pass an explicit stable label (runner hostnames churn);
+    ``platform.node()`` is the honest local default.
+    """
+    return platform.node() or "unknown"
+
+
+def append_history(
+    path: str,
+    artifact: dict,
+    sha: str,
+    timestamp: float | None = None,
+    machine: str | None = None,
+    engine: str | None = None,
+) -> HistoryEntry:
+    """Durably append one bench session to the history journal.
+
+    ``sha`` is the commit the session measured (CI passes
+    ``$GITHUB_SHA``); ``timestamp`` defaults to now.  The line is
+    checksummed and fsync'd so a crash mid-append leaves at worst a
+    torn tail the loader already ignores.
+    """
+    entry = HistoryEntry(
+        sha=sha,
+        timestamp=time.time() if timestamp is None else float(timestamp),
+        label=str(artifact.get("label", "run")),
+        machine=default_machine() if machine is None else machine,
+        engine=engine,
+        artifact=artifact,
+    )
+    payload = entry.to_payload()
+    line = json.dumps(
+        dict(payload, checksum=_entry_checksum(payload)),
+        sort_keys=True, separators=(",", ":"),
+    ) + "\n"
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(line)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return entry
+
+
+def load_history(path: str) -> list[HistoryEntry]:
+    """Read the journal, oldest first, surviving torn and corrupt lines.
+
+    A final line without a terminating newline is a writer killed
+    mid-append: it is left unconsumed (the next append resolves it).
+    Complete lines that fail to parse, fail their checksum, or carry an
+    unknown schema are skipped — one bad line must not cost the trail.
+    """
+    entries: list[HistoryEntry] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                if not line.endswith("\n"):
+                    break  # torn tail from an interrupted append
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    payload = json.loads(stripped)
+                    checksum = payload.pop("checksum", None)
+                    if checksum != _entry_checksum(payload):
+                        raise ValueError("checksum mismatch")
+                    entries.append(HistoryEntry.from_payload(payload))
+                except (KeyError, TypeError, ValueError):
+                    continue  # corrupt line: skipped, never fatal
+    except OSError:
+        return []
+    return entries

@@ -1,0 +1,676 @@
+"""Zero-dependency static HTML renderer for the results dashboard.
+
+``repro dashboard`` feeds this module the committed BENCH artifacts,
+the per-commit history journal, and (optionally) one observed profile
+run, and gets back a single self-contained HTML file: no scripts, no
+external assets, inline SVG charts, a table view per chart, and a
+light/dark role sheet so the file reads the same in CI artifact
+viewers and local browsers.
+
+Charts follow a small fixed grammar: categorical series take palette
+slots in a fixed order (never cycled), lines are 2px with ring-wrapped
+end markers, bars cap at 24px with rounded data-ends and 2px surface
+gaps, grids are hairline and recessive, text never wears a series
+color, and every figure-vs-paper diff is a diverging bar around a gray
+zero line.  Rendering is deterministic for a given input (the caller
+passes ``generated_at``), which is what lets the golden-file test pin
+the output byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+
+from repro.dashboard.figures import figure_diffs
+from repro.dashboard.history import HistoryEntry
+
+# Categorical palette slots (light, dark) — assigned to series in fixed
+# order, never cycled; past 8 series fold into the table view.
+_SERIES = (
+    ("#2a78d6", "#3987e5"),   # blue
+    ("#eb6834", "#d95926"),   # orange
+    ("#1baf7a", "#199e70"),   # aqua
+    ("#eda100", "#c98500"),   # yellow
+    ("#e87ba4", "#d55181"),   # magenta
+    ("#008300", "#008300"),   # green
+    ("#4a3aa7", "#9085e9"),   # violet
+    ("#e34948", "#e66767"),   # red
+)
+# Diverging pair for the paper-target diffs (polarity, not judgement):
+# blue = above the paper's value, red = below.
+_DIVERGE_POS = ("#2a78d6", "#3987e5")
+_DIVERGE_NEG = ("#e34948", "#e66767")
+
+_PLOT_W, _PLOT_H = 640, 180
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 64, 96, 12, 28
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _fmt(value: float | int | None) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.1f}"
+    return f"{int(value):,}"
+
+
+def _pp(fraction: float) -> str:
+    """A fraction as signed percentage points (+1.3 pp)."""
+    return f"{fraction * 100:+.1f} pp"
+
+
+def _nice_ticks(hi: float, count: int = 4) -> list[float]:
+    """Clean round tick values from 0 up to at least ``hi``."""
+    if hi <= 0:
+        return [0.0, 1.0]
+    raw = hi / count
+    magnitude = 10 ** max(0, len(str(int(raw))) - 1)
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step * count >= hi:
+            break
+    ticks = [step * i for i in range(count + 1)]
+    while ticks[-1] < hi:
+        ticks.append(ticks[-1] + step)
+    return ticks
+
+
+def _series_var(index: int) -> str:
+    return f"var(--series-{index + 1})"
+
+
+def _svg_open(height: int) -> str:
+    width = _PLOT_W + _PAD_L + _PAD_R
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'role="img" xmlns="http://www.w3.org/2000/svg">'
+    )
+
+
+def _grid_and_axis(ticks: list[float], y_of, y_fmt) -> list[str]:
+    parts = []
+    for tick in ticks:
+        y = y_of(tick)
+        parts.append(
+            f'<line x1="{_PAD_L}" y1="{y:.1f}" x2="{_PAD_L + _PLOT_W}" '
+            f'y2="{y:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_PAD_L - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'class="tick">{_esc(y_fmt(tick))}</text>'
+        )
+    parts.append(
+        f'<line x1="{_PAD_L}" y1="{y_of(ticks[0]):.1f}" '
+        f'x2="{_PAD_L + _PLOT_W}" y2="{y_of(ticks[0]):.1f}" '
+        f'stroke="var(--axis)" stroke-width="1"/>'
+    )
+    return parts
+
+
+def _legend(names: list[str]) -> str:
+    """Legend row — present whenever two or more series share a plot."""
+    if len(names) < 2:
+        return ""
+    keys = "".join(
+        f'<span class="key"><span class="swatch" '
+        f'style="background:{_series_var(i)}"></span>{_esc(name)}</span>'
+        for i, name in enumerate(names)
+    )
+    return f'<div class="legend">{keys}</div>'
+
+
+def _details_table(caption: str, head: list[str], rows: list[list[str]]) -> str:
+    head_html = "".join(f"<th>{_esc(h)}</th>" for h in head)
+    body_html = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        f'<details><summary>{_esc(caption)}</summary>'
+        f'<table><thead><tr>{head_html}</tr></thead>'
+        f'<tbody>{body_html}</tbody></table></details>'
+    )
+
+
+def _section(title: str, subtitle: str, body: str) -> str:
+    sub = f'<p class="sub">{_esc(subtitle)}</p>' if subtitle else ""
+    return (
+        f'<section><h2>{_esc(title)}</h2>{sub}{body}</section>'
+    )
+
+
+# ---------------------------------------------------------------------------
+# Line chart (trends over history entries)
+# ---------------------------------------------------------------------------
+
+def _line_chart(
+    series: list[tuple[str, list[tuple[str, float]]]],
+    y_fmt,
+) -> str:
+    """Multi-series line chart; x is the shared ordered category axis.
+
+    ``series`` maps name -> [(x label, y value)].  Series beyond the
+    eight palette slots are dropped from the plot (the table view keeps
+    them); x labels are short SHAs.
+    """
+    series = series[:len(_SERIES)]
+    xs: list[str] = []
+    for _, points in series:
+        for x_label, _ in points:
+            if x_label not in xs:
+                xs.append(x_label)
+    peak = max((y for _, pts in series for _, y in pts), default=0.0)
+    ticks = _nice_ticks(peak)
+    top = ticks[-1]
+
+    def y_of(v: float) -> float:
+        return _PAD_T + _PLOT_H * (1.0 - v / top)
+
+    def x_of(i: int) -> float:
+        if len(xs) == 1:
+            return _PAD_L + _PLOT_W / 2.0
+        return _PAD_L + _PLOT_W * i / (len(xs) - 1)
+
+    height = _PAD_T + _PLOT_H + _PAD_B
+    parts = [_svg_open(height)]
+    parts += _grid_and_axis(ticks, y_of, y_fmt)
+    stride = max(1, len(xs) // 8)
+    for i, x_label in enumerate(xs):
+        if i % stride and i != len(xs) - 1:
+            continue
+        parts.append(
+            f'<text x="{x_of(i):.1f}" y="{height - 8}" '
+            f'text-anchor="middle" class="tick">{_esc(x_label)}</text>'
+        )
+    for s_index, (name, points) in enumerate(series):
+        color = _series_var(s_index)
+        coords = [
+            (x_of(xs.index(x_label)), y_of(y)) for x_label, y in points
+        ]
+        if len(coords) > 1:
+            path = " ".join(
+                f"{'M' if i == 0 else 'L'}{x:.1f} {y:.1f}"
+                for i, (x, y) in enumerate(coords)
+            )
+            parts.append(
+                f'<path d="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round" '
+                f'stroke-linecap="round"/>'
+            )
+        for (x, y), (x_label, value) in zip(coords, points):
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                f'stroke="var(--surface-1)" stroke-width="2">'
+                f'<title>{_esc(name)} @ {_esc(x_label)}: '
+                f'{_esc(y_fmt(value))}</title></circle>'
+            )
+        end_x, end_y = coords[-1]
+        parts.append(
+            f'<text x="{end_x + 10:.1f}" y="{end_y + 4:.1f}" '
+            f'class="endlabel">{_esc(y_fmt(points[-1][1]))}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _throughput_trend(history: list[HistoryEntry]) -> str:
+    groups: dict[str, list[HistoryEntry]] = {}
+    for entry in history:
+        if entry.cycles_per_sec is not None:
+            groups.setdefault(entry.series, []).append(entry)
+    if not groups:
+        return ""
+    names = sorted(groups)
+    series = [
+        (name, [(e.sha[:7], e.cycles_per_sec) for e in groups[name]])
+        for name in names
+    ]
+    rows = [
+        [e.sha[:7], name, e.machine, f"{e.cycles_per_sec:,.0f}"]
+        for name in names for e in groups[name]
+    ]
+    body = (
+        _legend(names)
+        + _line_chart(series, y_fmt=_fmt)
+        + _details_table("table view — throughput per commit",
+                         ["commit", "series", "machine", "cycles/sec"], rows)
+    )
+    return _section(
+        "Simulator throughput over commits",
+        "totals.cycles_per_sec per bench session, one line per "
+        "engine/label; computed jobs only (cached cycles never count).",
+        body,
+    )
+
+
+def _cache_trend(history: list[HistoryEntry]) -> str:
+    points = [(e.sha[:7], e.cache_hit_rate * 100.0) for e in history]
+    if not points:
+        return ""
+    rows = [[sha, f"{rate:.1f} %"] for sha, rate in points]
+    body = (
+        _line_chart([("cache hit rate", points)],
+                    y_fmt=lambda v: f"{v:.0f} %")
+        + _details_table("table view — cache hit rate per commit",
+                         ["commit", "hit rate"], rows)
+    )
+    return _section(
+        "Run-store cache hit rate",
+        "share of jobs answered from the journaled run store per session.",
+        body,
+    )
+
+
+def _failure_trend(history: list[HistoryEntry]) -> str:
+    points = [(e.sha[:7], float(e.failures)) for e in history]
+    if not points:
+        return ""
+    kind_totals: dict[str, int] = {}
+    for entry in history:
+        for kind, count in entry.failure_kinds.items():
+            kind_totals[kind] = kind_totals.get(kind, 0) + count
+    rows = [[kind, str(count)] for kind, count in sorted(kind_totals.items())]
+    body = _line_chart([("job failures", points)],
+                       y_fmt=lambda v: f"{v:.0f}")
+    if rows:
+        body += _details_table("table view — failure kinds (all sessions)",
+                               ["failure kind", "count"], rows)
+    return _section(
+        "Job failures over commits",
+        "failed jobs per bench session; kinds from the repro.errors "
+        "taxonomy.",
+        body,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bars (artifact snapshot + paper diffs + stall flame)
+# ---------------------------------------------------------------------------
+
+def _artifact_bars(artifacts: list[tuple[str, dict]]) -> str:
+    items = []
+    for source, artifact in artifacts:
+        cps = artifact.get("totals", {}).get("cycles_per_sec")
+        if cps is not None:
+            items.append((artifact.get("label", source), float(cps), source))
+    if not items:
+        return ""
+    peak = max(v for _, v, _ in items)
+    ticks = _nice_ticks(peak)
+    top = ticks[-1]
+    bar_h, gap = 24, 2
+    row_h = bar_h + 12
+    height = _PAD_T + row_h * len(items) + _PAD_B
+
+    def x_of(v: float) -> float:
+        return _PAD_L + _PLOT_W * v / top
+
+    parts = [_svg_open(height)]
+    for tick in ticks:
+        x = x_of(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_PAD_T}" x2="{x:.1f}" '
+            f'y2="{height - _PAD_B}" stroke="var(--grid)" '
+            f'stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - 8}" text-anchor="middle" '
+            f'class="tick">{_esc(_fmt(tick))}</text>'
+        )
+    for i, (label, value, source) in enumerate(items):
+        y = _PAD_T + row_h * i + gap
+        w = max(x_of(value) - _PAD_L, 6.0)
+        parts.append(
+            f'<path d="M{_PAD_L} {y:.1f} h{w - 4:.1f} a4 4 0 0 1 4 4 '
+            f'v{bar_h - 8} a4 4 0 0 1 -4 4 h-{w - 4:.1f} z" '
+            f'fill="var(--series-1)">'
+            f'<title>{_esc(label)} ({_esc(source)}): '
+            f'{_esc(_fmt(value))} cycles/sec</title></path>'
+        )
+        parts.append(
+            f'<text x="{_PAD_L - 8}" y="{y + bar_h / 2 + 4:.1f}" '
+            f'text-anchor="end" class="tick">{_esc(label)}</text>'
+        )
+        parts.append(
+            f'<text x="{_PAD_L + w + 8:.1f}" y="{y + bar_h / 2 + 4:.1f}" '
+            f'class="endlabel">{_esc(_fmt(value))}</text>'
+        )
+    parts.append("</svg>")
+    rows = [[label, source, _fmt(value)] for label, value, source in items]
+    body = "".join(parts) + _details_table(
+        "table view — committed artifacts",
+        ["label", "file", "cycles/sec"], rows)
+    return _section(
+        "Committed BENCH artifacts",
+        "headline throughput of every BENCH_*.json in the tree "
+        "(one magnitude, one hue).",
+        body,
+    )
+
+
+def _figures_from(history: list[HistoryEntry],
+                  artifacts: list[tuple[str, dict]]) -> dict:
+    """Latest known metrics per figure: artifacts first, history wins."""
+    merged: dict[str, dict[str, float]] = {}
+    for _, artifact in artifacts:
+        for fig, metrics in (artifact.get("figures") or {}).items():
+            merged[fig] = dict(metrics)
+    for entry in history:
+        for fig, metrics in entry.figures.items():
+            merged[fig] = dict(metrics)
+    return merged
+
+
+def _paper_diff_bars(history: list[HistoryEntry],
+                     artifacts: list[tuple[str, dict]]) -> str:
+    diffs = figure_diffs(_figures_from(history, artifacts))
+    if not diffs:
+        return ""
+    span = max(0.02, max(abs(delta) for _, _, delta in diffs))
+    bar_h, gap = 16, 2
+    row_h = bar_h + 10
+    height = _PAD_T + row_h * len(diffs) + _PAD_B
+    mid_x = _PAD_L + _PLOT_W / 2.0
+
+    def w_of(delta: float) -> float:
+        return (_PLOT_W / 2.0 - 8) * abs(delta) / span
+
+    parts = [_svg_open(height)]
+    parts.append(
+        f'<line x1="{mid_x:.1f}" y1="{_PAD_T}" x2="{mid_x:.1f}" '
+        f'y2="{height - _PAD_B}" stroke="var(--axis)" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<text x="{mid_x:.1f}" y="{height - 8}" text-anchor="middle" '
+        f'class="tick">paper value</text>'
+    )
+    rows = []
+    for i, (target, measured, delta) in enumerate(diffs):
+        y = _PAD_T + row_h * i + gap
+        w = max(w_of(delta), 6.0)
+        label = f"{target.figure} · {target.metric}"
+        color = "var(--pos)" if delta >= 0 else "var(--neg)"
+        if delta >= 0:
+            shape = (f'M{mid_x:.1f} {y:.1f} h{w - 4:.1f} a4 4 0 0 1 4 4 '
+                     f'v{bar_h - 8} a4 4 0 0 1 -4 4 h-{w - 4:.1f} z')
+            value_x, anchor = mid_x + w + 8, "start"
+        else:
+            shape = (f'M{mid_x:.1f} {y:.1f} h-{w - 4:.1f} a4 4 0 0 0 -4 4 '
+                     f'v{bar_h - 8} a4 4 0 0 0 4 4 h{w - 4:.1f} z')
+            value_x, anchor = mid_x - w - 8, "end"
+        parts.append(
+            f'<path d="{shape}" fill="{color}">'
+            f'<title>{_esc(target.description)}: measured '
+            f'{measured * 100:.1f} % vs paper {target.paper * 100:.1f} % '
+            f'({_esc(_pp(delta))})</title></path>'
+        )
+        parts.append(
+            f'<text x="{_PAD_L - 8}" y="{y + bar_h / 2 + 4:.1f}" '
+            f'text-anchor="end" class="tick">{_esc(label)}</text>'
+        )
+        parts.append(
+            f'<text x="{value_x:.1f}" y="{y + bar_h / 2 + 4:.1f}" '
+            f'text-anchor="{anchor}" class="endlabel">'
+            f'{_esc(_pp(delta))}</text>'
+        )
+        rows.append([label, f"{measured * 100:.1f} %",
+                     f"{target.paper * 100:.1f} %", _pp(delta)])
+    parts.append("</svg>")
+    key = (
+        '<div class="legend">'
+        '<span class="key"><span class="swatch" '
+        'style="background:var(--pos)"></span>above paper value</span>'
+        '<span class="key"><span class="swatch" '
+        'style="background:var(--neg)"></span>below paper value</span>'
+        '</div>'
+    )
+    body = key + "".join(parts) + _details_table(
+        "table view — figure metrics vs paper",
+        ["figure · metric", "measured", "paper", "diff"], rows)
+    return _section(
+        "Figure metrics vs paper targets",
+        "latest measured headline per figure, diffed against the "
+        "RegMutex paper's stated averages (percentage points; polarity "
+        "only — which side of the paper's number, not better/worse).",
+        body,
+    )
+
+
+def _stall_flame(profile: dict) -> str:
+    stalls: dict[str, int] = dict(profile.get("stalls", {}))
+    issue_slots = int(profile.get("issue_slots", 0))
+    issued = int(profile.get("issued", 0))
+    if not stalls or issue_slots <= 0:
+        return ""
+    idle = sum(stalls.values())
+    bar_h, gap = 24, 2
+    height = _PAD_T + 2 * (bar_h + 12) + _PAD_B
+    categories = sorted(stalls, key=lambda c: (-stalls[c], c))
+
+    def seg(x: float, w: float, color: str, tip: str) -> str:
+        return (
+            f'<rect x="{x:.1f}" y="{{y}}" width="{max(w - gap, 1.0):.1f}" '
+            f'height="{bar_h}" fill="{color}"><title>{tip}</title></rect>'
+        )
+
+    parts = [_svg_open(height)]
+    # Top bar: issued vs idle split of every issue slot.
+    y = _PAD_T
+    issued_w = _PLOT_W * issued / issue_slots
+    parts.append(seg(_PAD_L, issued_w, "var(--series-1)",
+                     f"issued: {issued:,} of {issue_slots:,} slots")
+                 .format(y=y))
+    parts.append(seg(_PAD_L + issued_w, _PLOT_W - issued_w, "var(--grid)",
+                     f"idle: {idle:,} slots").format(y=y))
+    parts.append(
+        f'<text x="{_PAD_L - 8}" y="{y + bar_h / 2 + 4}" text-anchor="end" '
+        f'class="tick">issue slots</text>'
+    )
+    # Second level: idle slots fanned into stall categories.
+    y = _PAD_T + bar_h + 12
+    x = _PAD_L
+    rows = []
+    for i, cat in enumerate(categories):
+        share = stalls[cat] / idle if idle else 0.0
+        w = _PLOT_W * stalls[cat] / issue_slots
+        parts.append(seg(x, w, _series_var((i + 1) % len(_SERIES)),
+                         f"{cat}: {stalls[cat]:,} idle slots "
+                         f"({share:.0%} of idle)").format(y=y))
+        x += w
+        rows.append([cat, f"{stalls[cat]:,}", f"{share:.0%}"])
+    parts.append(
+        f'<text x="{_PAD_L - 8}" y="{y + bar_h / 2 + 4}" text-anchor="end" '
+        f'class="tick">idle split</text>'
+    )
+    parts.append("</svg>")
+    names = ["issued"] + categories
+    keys = "".join(
+        f'<span class="key"><span class="swatch" style="background:'
+        f'{_series_var(i if i == 0 else (i % len(_SERIES)))}"></span>'
+        f'{_esc(name)}</span>'
+        for i, name in enumerate(names)
+    )
+    body = (
+        f'<div class="legend">{keys}</div>' + "".join(parts)
+        + _details_table("table view — stall attribution",
+                         ["category", "idle slots", "share of idle"], rows)
+    )
+    return _section(
+        "Stall attribution — " + str(profile.get("title", "profiled run")),
+        "issue slots split into issued vs idle, idle fanned into the "
+        "observe bus's stall categories (sums exactly to SmStats).",
+        body,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Page assembly
+# ---------------------------------------------------------------------------
+
+def _stat_tiles(history: list[HistoryEntry],
+                artifacts: list[tuple[str, dict]]) -> str:
+    tiles = []
+    if history:
+        latest = history[-1]
+        tiles.append((
+            "Latest bench commit", latest.sha[:10],
+            f"{latest.label} on {latest.machine}",
+        ))
+        cps = latest.cycles_per_sec
+        tiles.append((
+            "Latest throughput",
+            f"{cps:,.0f} c/s" if cps is not None else "cached",
+            f"{latest.failures} failure(s), "
+            f"{latest.cache_hit_rate:.0%} cache hits",
+        ))
+        tiles.append((
+            "History entries", f"{len(history)}",
+            f"{len({e.sha for e in history})} distinct commits",
+        ))
+    tiles.append((
+        "Committed artifacts", f"{len(artifacts)}",
+        "BENCH_*.json in the tree",
+    ))
+    cells = "".join(
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div>'
+        f'<div class="sub">{_esc(sub)}</div></div>'
+        for label, value, sub in tiles
+    )
+    return f'<div class="tiles">{cells}</div>'
+
+
+_STYLE = """
+:root { color-scheme: light dark; }
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --muted: #898781; --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+  --pos: #2a78d6; --neg: #e34948;
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --muted: #898781; --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+    --pos: #3987e5; --neg: #e66767;
+  }
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 15px; margin: 0 0 2px; }
+.viz-root .sub { color: var(--text-secondary); margin: 0 0 10px; }
+.viz-root header .sub { margin-bottom: 20px; }
+.viz-root section {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 20px; margin: 0 0 16px;
+  max-width: 880px;
+}
+.viz-root .tiles {
+  display: flex; flex-wrap: wrap; gap: 12px; margin: 0 0 16px;
+  max-width: 880px;
+}
+.viz-root .tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; flex: 1 1 160px;
+}
+.viz-root .tile .label { color: var(--text-secondary); font-size: 12px; }
+.viz-root .tile .value { font-size: 26px; font-weight: 600; }
+.viz-root .tile .sub { color: var(--muted); font-size: 12px; margin: 0; }
+.viz-root .legend {
+  display: flex; flex-wrap: wrap; gap: 14px; margin: 0 0 6px;
+  color: var(--text-secondary); font-size: 12px;
+}
+.viz-root .key { display: inline-flex; align-items: center; gap: 6px; }
+.viz-root .swatch {
+  width: 10px; height: 10px; border-radius: 2px; display: inline-block;
+}
+.viz-root svg { display: block; }
+.viz-root .tick {
+  fill: var(--muted); font-size: 11px;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root .endlabel { fill: var(--text-secondary); font-size: 11px; }
+.viz-root details { margin-top: 8px; color: var(--text-secondary); }
+.viz-root details summary { cursor: pointer; font-size: 12px; }
+.viz-root table {
+  border-collapse: collapse; margin-top: 8px; font-size: 12px;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root th, .viz-root td {
+  text-align: left; padding: 3px 12px 3px 0;
+  border-bottom: 1px solid var(--grid);
+}
+.viz-root footer { color: var(--muted); font-size: 12px; }
+"""
+
+
+def render_dashboard(
+    history: list[HistoryEntry],
+    artifacts: list[tuple[str, dict]],
+    *,
+    profile: dict | None = None,
+    generated_at: str = "",
+    title: str = "RegMutex reproduction — results dashboard",
+) -> str:
+    """Assemble the full self-contained dashboard page."""
+    sections = [
+        _stat_tiles(history, artifacts),
+        _artifact_bars(artifacts),
+        _throughput_trend(history),
+        _paper_diff_bars(history, artifacts),
+        _cache_trend(history),
+        _failure_trend(history),
+    ]
+    if profile:
+        sections.append(_stall_flame(profile))
+    meta = (
+        f"{len(history)} history entr{'y' if len(history) == 1 else 'ies'}, "
+        f"{len(artifacts)} artifact(s)"
+        + (f" · generated {generated_at}" if generated_at else "")
+    )
+    body = "".join(s for s in sections if s)
+    if not history and not artifacts:
+        body = (
+            '<p class="sub">No data yet — run <code>repro bench '
+            "--history benchmarks/history.jsonl</code> to start the "
+            "trail.</p>"
+        ) + body
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style></head>\n"
+        '<body class="viz-root"><header>'
+        f"<h1>{_esc(title)}</h1>"
+        f'<p class="sub">{_esc(meta)}</p></header>\n'
+        f"{body}\n"
+        "<footer>Self-contained static page — no scripts, no external "
+        "assets. Built by <code>repro dashboard</code>.</footer>"
+        "</body></html>\n"
+    )
+
+
+def write_dashboard(path: str, html_text: str) -> str:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(html_text)
+    return path

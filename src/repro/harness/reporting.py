@@ -79,6 +79,8 @@ def format_telemetry(telemetry, slowest: int = 10) -> str:
             ["workers", telemetry.workers],
             ["wall seconds", f"{telemetry.wall_seconds:.2f}"],
             ["simulated seconds", f"{telemetry.sim_seconds:.2f}"],
+            ["computed cycles", f"{telemetry.computed_cycles:,}"],
+            ["cached cycles", f"{telemetry.cached_cycles:,}"],
             ["worker utilization", f"{telemetry.utilization():.0%}"],
         ],
         title="orchestration telemetry",

@@ -183,6 +183,23 @@ class SessionTelemetry:
         """Summed per-job simulation time (cache hits contribute ~0)."""
         return sum(t.seconds for t in self.timings if not t.cached)
 
+    @property
+    def computed_cycles(self) -> int:
+        """Cycles simulated *this session* (cache hits excluded).
+
+        The perf-artifact throughput numerator: it must match the
+        population ``sim_seconds`` measures, or a partially-cached
+        session reports cycles that cost no time and the cycles/sec
+        headline inflates past any real machine's ability — masking
+        regressions exactly when the cache is warm.
+        """
+        return sum(t.cycles or 0 for t in self.timings if not t.cached)
+
+    @property
+    def cached_cycles(self) -> int:
+        """Cycles replayed from the run store (no simulation time spent)."""
+        return sum(t.cycles or 0 for t in self.timings if t.cached)
+
     def utilization(self) -> float:
         """Fraction of the pool's capacity spent simulating."""
         if self.wall_seconds <= 0.0 or self.workers <= 0:

@@ -17,11 +17,21 @@ Schema (``PERF_ARTIFACT_VERSION`` 1)::
       "wall_seconds": float,
       "cache": {"hits": N, "misses": N, "hit_rate": float},
       "totals": {"jobs": N, "failures": N, "sim_seconds": float,
-                 "cycles": N, "cycles_per_sec": float},
+                 "cycles": N, "cached_cycles": N, "cycles_per_sec": float},
       "failure_kinds": {"<kind>": N, ...},
+      "figures": {"<fig>": {"<metric>": float, ...}, ...},   # optional
       "jobs": [{"label", "mode", "seconds", "cycles", "cycles_per_sec",
                 "failed", "failure_kind", "attempts"}, ...]
     }
+
+``totals.cycles`` counts **computed** (non-cached) jobs only: cache hits
+replay a stored record in ~0 time, and ``totals.sim_seconds`` already
+excludes them, so folding their cycles into the numerator would inflate
+``cycles_per_sec`` on any partially-cached session (and mask real
+regressions).  Cached cycles are reported separately as
+``totals.cached_cycles``.  ``cached_cycles`` and ``figures`` are
+additive schema-1 fields — absent in older artifacts, tolerated by
+every consumer.
 """
 
 from __future__ import annotations
@@ -29,10 +39,19 @@ from __future__ import annotations
 import json
 import os
 import re
+from dataclasses import dataclass
 
 from repro.harness.telemetry import SessionTelemetry
 
 PERF_ARTIFACT_VERSION = 1
+
+# Comparison verdicts: a comparison either has a conclusive answer
+# ("ok" / "regressed") or no data to answer with ("inconclusive" — e.g.
+# a fully-cached session computed nothing, so it has no throughput).
+# Callers gate on ``regressed`` only; inconclusive must warn, not fail.
+STATUS_OK = "ok"
+STATUS_REGRESSED = "regressed"
+STATUS_INCONCLUSIVE = "inconclusive"
 
 _LABEL_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -43,20 +62,25 @@ def artifact_filename(label: str) -> str:
     return f"BENCH_{safe}.json"
 
 
-def perf_artifact(label: str, telemetry: SessionTelemetry) -> dict:
-    """Build the artifact dict from one orchestration session."""
+def perf_artifact(
+    label: str,
+    telemetry: SessionTelemetry,
+    figures: dict[str, dict[str, float]] | None = None,
+) -> dict:
+    """Build the artifact dict from one orchestration session.
+
+    ``figures`` optionally embeds per-figure headline metrics (see
+    :mod:`repro.dashboard.figures`) so the dashboard can diff them
+    against the paper's targets commit over commit.
+    """
     # Per-job entries are JobTiming.to_dict() verbatim: the perf
     # artifact and the service wire protocol share one serialization.
-    jobs = []
-    total_cycles = 0
-    for t in telemetry.timings:
-        if t.cycles is not None:
-            total_cycles += t.cycles
-        jobs.append(t.to_dict())
+    jobs = [t.to_dict() for t in telemetry.timings]
     hits, misses = telemetry.cache_hits, telemetry.cache_misses
     total = hits + misses
     sim_seconds = telemetry.sim_seconds
-    return {
+    computed_cycles = telemetry.computed_cycles
+    artifact = {
         "schema": PERF_ARTIFACT_VERSION,
         "label": label,
         "workers": telemetry.workers,
@@ -70,24 +94,35 @@ def perf_artifact(label: str, telemetry: SessionTelemetry) -> dict:
             "jobs": telemetry.jobs_total,
             "failures": telemetry.failures,
             "sim_seconds": round(sim_seconds, 6),
-            "cycles": total_cycles,
+            # Computed jobs only: cached cycles have no matching time in
+            # sim_seconds, so they must not land in the cps numerator.
+            "cycles": computed_cycles,
+            "cached_cycles": telemetry.cached_cycles,
             "cycles_per_sec": (
-                round(total_cycles / sim_seconds, 1) if sim_seconds > 0 else None
+                round(computed_cycles / sim_seconds, 1)
+                if sim_seconds > 0 and computed_cycles else None
             ),
         },
         "failure_kinds": telemetry.failures_by_kind(),
         "jobs": jobs,
     }
+    if figures:
+        artifact["figures"] = figures
+    return artifact
 
 
 def write_perf_artifact(
-    label: str, telemetry: SessionTelemetry, directory: str = "."
+    label: str,
+    telemetry: SessionTelemetry,
+    directory: str = ".",
+    figures: dict[str, dict[str, float]] | None = None,
 ) -> str:
     """Serialize the session to ``<directory>/BENCH_<label>.json``."""
     path = os.path.join(directory, artifact_filename(label))
     tmp = path + ".tmp"
     with open(tmp, "w") as fh:
-        json.dump(perf_artifact(label, telemetry), fh, indent=2)
+        json.dump(perf_artifact(label, telemetry, figures=figures), fh,
+                  indent=2)
         fh.write("\n")
     os.replace(tmp, path)
     return path
@@ -107,31 +142,71 @@ def load_perf_artifact(path: str) -> dict:
     return data
 
 
+@dataclass(frozen=True)
+class PerfComparison:
+    """Outcome of one throughput comparison.
+
+    ``status`` is one of :data:`STATUS_OK`, :data:`STATUS_REGRESSED`,
+    :data:`STATUS_INCONCLUSIVE`.  The distinction matters to gates: a
+    fully-cached run has no throughput number — that is *no data*, not
+    a regression, and must never fail CI.
+    """
+
+    status: str
+    messages: tuple[str, ...] = ()
+    current: float | None = None
+    baseline: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == STATUS_REGRESSED
+
+    @property
+    def inconclusive(self) -> bool:
+        return self.status == STATUS_INCONCLUSIVE
+
+
 def compare_perf_artifacts(
     current: dict, baseline: dict, warn_threshold: float = 0.15
-) -> list[str]:
+) -> PerfComparison:
     """Compare headline simulation throughput against a baseline artifact.
 
-    Returns a list of warning strings — empty when the current run's
+    Returns a :class:`PerfComparison`: ``ok`` when the current run's
     ``totals.cycles_per_sec`` is within ``warn_threshold`` of the
-    baseline's (or faster).  Advisory only: throughput depends on the
-    executing machine, so callers warn and move on rather than fail —
-    a committed seed artifact catches *order-of-magnitude* issue-path
-    regressions, not percent-level noise.
+    baseline's (or faster), ``regressed`` when it fell below the band,
+    and ``inconclusive`` when either side has no throughput number at
+    all (e.g. every job came from cache).  Callers decide severity:
+    ``repro bench --baseline`` prints warnings, ``--fail-threshold``
+    fails the run on ``regressed`` *only* — inconclusive comparisons
+    warn and pass, because "no data" is not "slower".
     """
     cur = current.get("totals", {}).get("cycles_per_sec")
     base = baseline.get("totals", {}).get("cycles_per_sec")
-    if cur is None or base is None or base <= 0:
-        return [
-            "perf comparison inconclusive: cycles_per_sec missing "
-            f"(current={cur!r}, baseline={base!r}) — all jobs cached?"
-        ]
+    if cur is None or base is None or cur <= 0 or base <= 0:
+        return PerfComparison(
+            status=STATUS_INCONCLUSIVE,
+            messages=(
+                "perf comparison inconclusive: cycles_per_sec missing "
+                f"(current={cur!r}, baseline={base!r}) — all jobs cached?",
+            ),
+            current=cur,
+            baseline=base,
+        )
     ratio = cur / base
     if ratio < 1.0 - warn_threshold:
-        return [
-            f"simulation throughput regressed {1.0 - ratio:.0%} vs "
-            f"baseline {baseline.get('label', '?')!r}: "
-            f"{cur:,.0f} cycles/sec vs {base:,.0f} "
-            f"(warn threshold {warn_threshold:.0%})"
-        ]
-    return []
+        return PerfComparison(
+            status=STATUS_REGRESSED,
+            messages=(
+                f"simulation throughput regressed {1.0 - ratio:.0%} vs "
+                f"baseline {baseline.get('label', '?')!r}: "
+                f"{cur:,.0f} cycles/sec vs {base:,.0f} "
+                f"(warn threshold {warn_threshold:.0%})",
+            ),
+            current=cur,
+            baseline=base,
+        )
+    return PerfComparison(status=STATUS_OK, current=cur, baseline=base)

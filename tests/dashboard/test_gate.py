@@ -1,0 +1,108 @@
+"""Noise-band gate tests: band math, verdicts, and history filtering."""
+
+import pytest
+
+from repro.dashboard.gate import (
+    DEFAULT_MIN_ENTRIES,
+    MIN_BAND_FRACTION,
+    evaluate_gate,
+    noise_band,
+)
+from repro.dashboard.history import HistoryEntry
+
+
+def _entry(cps, machine="box", label="ci", engine=None, sha="s"):
+    artifact = {
+        "schema": 1, "label": label,
+        "totals": {"cycles_per_sec": cps, "failures": 0},
+        "cache": {"hit_rate": 0.0},
+    }
+    return HistoryEntry(sha=sha, timestamp=0.0, label=label,
+                        machine=machine, engine=engine, artifact=artifact)
+
+
+class TestNoiseBand:
+    def test_median_and_mad(self):
+        band = noise_band([90.0, 100.0, 110.0, 100.0, 100.0], k=4.0)
+        assert band.center == 100.0
+        assert band.mad == 0.0  # median of |v - 100| = 0
+        # MAD collapsed, so the floor keeps the band non-degenerate.
+        assert band.lo == pytest.approx(100.0 * (1 - MIN_BAND_FRACTION))
+        assert band.hi == pytest.approx(100.0 * (1 + MIN_BAND_FRACTION))
+
+    def test_k_scales_the_band(self):
+        values = [80.0, 90.0, 100.0, 110.0, 120.0]
+        wide = noise_band(values, k=4.0)
+        narrow = noise_band(values, k=2.0)
+        assert wide.mad == 10.0
+        assert wide.lo == 60.0 and wide.hi == 140.0
+        assert narrow.lo == 80.0 and narrow.hi == 120.0
+
+    def test_robust_to_one_regressed_commit(self):
+        # One terrible entry in the window must not drag the center —
+        # the whole point of median ± MAD over mean ± stddev.
+        clean = noise_band([100.0] * 9, k=4.0)
+        dirty = noise_band([100.0] * 9 + [1.0], k=4.0)
+        assert dirty.center == clean.center == 100.0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            noise_band([])
+
+
+class TestEvaluateGate:
+    def _history(self, n=6, cps=100.0, **kw):
+        return [_entry(cps, sha=f"s{i}", **kw) for i in range(n)]
+
+    def test_ok_inside_band(self):
+        r = evaluate_gate(99.0, self._history(), machine="box", label="ci")
+        assert r.status == "ok" and not r.regressed
+
+    def test_faster_than_band_is_ok(self):
+        r = evaluate_gate(1e9, self._history(), machine="box", label="ci")
+        assert r.status == "ok"
+
+    def test_regressed_below_band(self):
+        r = evaluate_gate(50.0, self._history(), machine="box", label="ci")
+        assert r.regressed
+        assert "below the noise band" in r.message
+
+    def test_insufficient_history_is_inconclusive(self):
+        few = self._history(n=DEFAULT_MIN_ENTRIES - 1)
+        r = evaluate_gate(50.0, few, machine="box", label="ci")
+        assert r.inconclusive and not r.regressed
+
+    def test_cached_session_is_inconclusive(self):
+        r = evaluate_gate(None, self._history(), machine="box", label="ci")
+        assert r.inconclusive
+        assert "cached" in r.message
+
+    def test_other_machines_do_not_feed_the_band(self):
+        # 6 fast entries from another machine + 2 from ours: the gate
+        # must not compare us against the other machine's numbers.
+        history = self._history(n=6, cps=1e9, machine="fastbox") + \
+            self._history(n=2, cps=100.0, machine="box")
+        r = evaluate_gate(100.0, history, machine="box", label="ci")
+        assert r.inconclusive  # only 2 same-machine entries
+
+    def test_other_labels_do_not_feed_the_band(self):
+        history = self._history(n=6, cps=1e9, label="nightly") + \
+            self._history(n=2, cps=100.0, label="ci")
+        r = evaluate_gate(100.0, history, machine="box", label="ci")
+        assert r.inconclusive
+
+    def test_window_keeps_only_recent_entries(self):
+        # 10 ancient slow entries then 6 recent fast ones: with
+        # window=6 the band comes from the recent regime only.
+        history = self._history(n=10, cps=10.0) + \
+            self._history(n=6, cps=100.0)
+        r = evaluate_gate(50.0, history, machine="box", label="ci",
+                          window=6)
+        assert r.regressed
+        assert r.band.center == 100.0
+
+    def test_entries_without_throughput_are_ignored(self):
+        history = self._history(n=4) + [_entry(None, sha="cached")]
+        r = evaluate_gate(99.0, history, machine="box", label="ci",
+                          min_entries=5)
+        assert r.inconclusive  # the cached entry does not count

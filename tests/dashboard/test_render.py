@@ -1,0 +1,128 @@
+"""Renderer tests: golden HTML, determinism, and content invariants.
+
+The golden file pins the full rendered page for one deterministic
+fixture.  After an intentional renderer change, regenerate it with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/dashboard/test_render.py
+
+and review the diff like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+from repro.dashboard.history import HistoryEntry
+from repro.dashboard.render import render_dashboard, write_dashboard
+
+GOLDEN = Path(__file__).parent / "golden" / "dashboard.html"
+
+
+def _artifact(cps, label="ci", hit_rate=0.25, failures=0, figures=None):
+    art = {
+        "schema": 1,
+        "label": label,
+        "workers": 4,
+        "totals": {
+            "jobs": 8, "failures": failures, "cycles": 1_000_000,
+            "cached_cycles": 250_000, "sim_seconds": 20.0,
+            "cycles_per_sec": cps,
+        },
+        "cache": {"hits": 2, "misses": 6, "hit_rate": hit_rate},
+        "failure_kinds": {"deadlock": failures} if failures else {},
+        "jobs": [],
+    }
+    if figures:
+        art["figures"] = figures
+    return art
+
+
+def _fixture():
+    """Deterministic history + artifacts covering every chart type."""
+    figures = {
+        "fig7": {"mean_cycle_reduction": 0.131, "apps": 8.0},
+        "fig8": {"mean_increase_bare": 0.21, "mean_increase_regmutex": 0.10,
+                 "apps": 8.0},
+    }
+    history = []
+    for i, (engine, cps) in enumerate([
+        ("scan", 40_000.0), ("event", 55_000.0), ("scan", 42_000.0),
+        ("event", 56_000.0), ("scan", 41_000.0), ("event", 54_000.0),
+    ]):
+        history.append(HistoryEntry(
+            sha=f"{i:07x}cafe", timestamp=1_700_000_000.0 + i * 3600,
+            label="ci", machine="golden-box", engine=engine,
+            artifact=_artifact(cps, hit_rate=0.1 * i,
+                               failures=1 if i == 3 else 0,
+                               figures=figures if i == 5 else None),
+        ))
+    artifacts = [
+        ("BENCH_seed.json", _artifact(43_657.2, label="seed")),
+        ("BENCH_ci.json", _artifact(49_802.3, label="ci", figures=figures)),
+    ]
+    profile = {
+        "title": "Gaussian / regmutex on GTX480",
+        "issue_slots": 10_000,
+        "issued": 6_200,
+        "stalls": {"memory": 2_100, "scoreboard": 900,
+                   "barrier": 500, "acquire": 300},
+    }
+    return history, artifacts, profile
+
+
+def _render():
+    history, artifacts, profile = _fixture()
+    return render_dashboard(history, artifacts, profile=profile,
+                            generated_at="2026-01-01 00:00 UTC")
+
+
+class TestGolden:
+    def test_matches_golden_file(self, tmp_path):
+        html = _render()
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(html)
+        assert GOLDEN.exists(), \
+            "golden file missing — run with REPRO_UPDATE_GOLDEN=1"
+        assert html == GOLDEN.read_text()
+
+    def test_render_is_deterministic(self):
+        assert _render() == _render()
+
+
+class TestContent:
+    def test_self_contained_single_page(self):
+        html = _render()
+        # No external fetches: everything inline, file:// friendly.
+        assert "http-equiv" not in html
+        assert "<script src" not in html
+        assert 'href="http' not in html and "url(" not in html
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+
+    def test_trend_series_and_diffs_present(self):
+        html = _render()
+        assert "scan" in html and "event" in html  # engine trend lines
+        assert "fig7" in html  # figure diff vs paper target
+        assert "mean cycle reduction" in html
+        assert "Gaussian / regmutex on GTX480" in html  # stall flame
+
+    def test_tables_accompany_every_chart(self):
+        html = _render()
+        # The accessibility pass: each chart ships a <details> table.
+        assert html.count("<details") >= 4
+        assert html.count("<table") >= html.count("<details")
+
+    def test_dark_mode_is_selected_not_flipped(self):
+        html = _render()
+        assert "prefers-color-scheme: dark" in html
+        assert 'data-theme="light"' in html  # explicit override hook
+
+    def test_empty_inputs_still_render(self):
+        html = render_dashboard([], [], generated_at="2026-01-01")
+        assert "<!DOCTYPE html>" in html
+        assert "no history" in html.lower() or "no data" in html.lower()
+
+    def test_write_dashboard_round_trip(self, tmp_path):
+        out = tmp_path / "sub" / "dash.html"
+        write_dashboard(str(out), "<!DOCTYPE html><html></html>")
+        assert out.read_text().startswith("<!DOCTYPE html>")
