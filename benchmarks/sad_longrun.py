@@ -32,11 +32,23 @@ from repro.arch.config import GTX480
 from repro.observe.perf import PERF_ARTIFACT_VERSION, artifact_filename
 from repro.regmutex.issue_logic import RegMutexTechnique
 from repro.sim.gpu import Gpu
+from repro.sim.sm import ISSUE_ENGINE_REGISTRY
 from repro.workloads.suite import build_app_kernel, get_app
 
 TOTAL_CTAS = 8
 SEED = 2018
-ENGINES = ("scan", "event", "columnar")
+# Discovered from the sm.py engine registry: a new engine gets
+# benchmarked (and picked up by --all-engines) without editing this
+# script.  Ordered slowest-first so --all-engines prints a trajectory.
+_PREFERRED_ORDER = ("scan", "event", "columnar", "native")
+ENGINES = tuple(
+    sorted(
+        ISSUE_ENGINE_REGISTRY,
+        key=lambda e: (
+            _PREFERRED_ORDER.index(e) if e in _PREFERRED_ORDER else 99
+        ),
+    )
+)
 
 
 def run_once(engine: str) -> tuple[int, float]:

@@ -12,6 +12,14 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 
+#: Canonical registry of issue-engine names.  ``repro.sim.sm`` builds its
+#: engine dispatch from this tuple and benchmark/CLI tooling discovers
+#: engines here, so adding an engine means adding one entry (plus the
+#: sm.py implementation) — not editing every script's hardcoded list.
+#: "native" selects the optional C extension (``repro._native``) and
+#: falls back to the pure-Python columnar stepper when it isn't built.
+ISSUE_ENGINES = ("event", "scan", "columnar", "native")
+
 
 def _default_issue_engine() -> str:
     """Default issue engine, overridable via ``REPRO_ISSUE_ENGINE``.
@@ -106,7 +114,7 @@ class GpuConfig:
             raise ValueError("watchdog_window must be >= 0 (0 disables)")
         if self.sanitizer_stride <= 0:
             raise ValueError("sanitizer_stride must be positive")
-        if self.issue_engine not in ("event", "scan", "columnar"):
+        if self.issue_engine not in ISSUE_ENGINES:
             raise ValueError(f"unknown issue engine {self.issue_engine!r}")
 
     @property

@@ -359,12 +359,22 @@ def _concurrent_cache_scenario(
 
 # -- kill-mid-run scenario ---------------------------------------------------------
 def _kill_mid_run_scenario(
-    seed: int, workers: int, workdir: str
+    seed: int, workers: int, workdir: str, engine: str | None = None
 ) -> FaultOutcome:
     """SIGKILL a worker at a deterministic cycle; resume must finish the
-    job bit-identically to an undisturbed baseline run."""
+    job bit-identically to an undisturbed baseline run.
+
+    ``engine`` pins the issue engine (e.g. ``"native"``: the C core's
+    mid-run checkpoints must be just as resumable as pure Python's);
+    None keeps the config default.
+    """
+    config = HARNESS_CONFIG
+    tag = ""
+    if engine is not None:
+        config = dataclasses.replace(config, issue_engine=engine)
+        tag = f"-{engine}"
     ref_job = JobSpec(
-        app="Gaussian", config=HARNESS_CONFIG,
+        app="Gaussian", config=config,
         technique=TechniqueSpec("baseline"),
     )
     ref_orch = Orchestrator(
@@ -374,10 +384,10 @@ def _kill_mid_run_scenario(
 
     kill_cycle = max(200, ref.cycles // 2)
     interval = max(50, kill_cycle // 3)
-    marker = os.path.join(workdir, "kill-mid-run.marker")
-    ckpt_dir = os.path.join(workdir, "kill-mid-run-ckpts")
+    marker = os.path.join(workdir, f"kill-mid-run{tag}.marker")
+    ckpt_dir = os.path.join(workdir, f"kill-mid-run{tag}-ckpts")
     job = JobSpec(
-        app="Gaussian", config=HARNESS_CONFIG,
+        app="Gaussian", config=config,
         technique=TechniqueSpec.of(
             "kill-mid-run", kill_cycle=kill_cycle, marker_path=marker
         ),
@@ -401,7 +411,7 @@ def _kill_mid_run_scenario(
         None,
     )
     return FaultOutcome(
-        "kill-mid-run/resume", "kill-mid-run", "harness",
+        f"kill-mid-run{tag}/resume", "kill-mid-run", "harness",
         detected=detected,
         detector="checkpoint-resume" if detected else "",
         cycles=resumed_cycle,
@@ -656,6 +666,11 @@ def run_campaign(
             if include_kill_mid_run:
                 outcomes.append(
                     _kill_mid_run_scenario(seed, workers, workdir)
+                )
+                outcomes.append(
+                    _kill_mid_run_scenario(
+                        seed, workers, workdir, engine="native"
+                    )
                 )
                 outcomes.append(
                     _daemon_kill_worker_scenario(seed, workers, workdir)

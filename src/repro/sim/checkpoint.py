@@ -229,7 +229,7 @@ def restore_into(sm, payload: dict) -> None:
         (sched, warps, [])
         for sched, warps in zip(sm.schedulers, sm._warps_by_scheduler)
     ]
-    if config.issue_engine == "columnar":
+    if config.issue_engine in ("columnar", "native"):
         sm._columnar = ColumnarCore(sm.schedulers, config)
         sm.scoreboard = ColumnarScoreboard(sm._columnar)
         sm._engine = None

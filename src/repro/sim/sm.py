@@ -31,7 +31,7 @@ from __future__ import annotations
 from bisect import insort
 from heapq import heappop, heappush
 
-from repro.arch.config import GpuConfig
+from repro.arch.config import ISSUE_ENGINES, GpuConfig
 from repro.errors import (
     CycleLimitExceededError,
     DeadlockDiagnostic,
@@ -88,6 +88,63 @@ _EXPIRE_PERIOD = 64
 # between polls instead of spinning in the greedy slot.
 _EAGER_RETRY_BACKOFF = 16
 
+# Optional C backend for the columnar loop (issue_engine="native").
+# Missing extension is not an error: "native" then runs the pure-Python
+# columnar stepper (identical results, one RuntimeWarning per process).
+try:
+    from repro import _native
+except ImportError:  # pragma: no cover - depends on the build
+    _native = None
+
+if _native is not None:
+    # The extension hardcodes the column encodings; refuse it (and fall
+    # back) if they ever drift from the Python constants.
+    import repro.sim.columnar as _col_mod
+    import repro.sim.wakequeue as _wq_mod
+
+    _NATIVE_CONST_NAMES = (
+        "ST_READY", "ST_BARRIER", "ST_ACQUIRE", "ST_FINISHED",
+        "SL_NONE", "SL_SCOREBOARD", "SL_MEMORY", "SL_TECHNIQUE",
+        "K_ALU", "K_LOAD", "K_SHARED_LOAD", "K_STORE", "K_EXIT",
+        "K_JMP", "K_BRA", "K_BARRIER", "K_ACQUIRE", "K_RELEASE",
+    )
+    if not (
+        getattr(_native, "NATIVE_ABI", None) == 1
+        and all(
+            getattr(_native, name) == getattr(_col_mod, name)
+            for name in _NATIVE_CONST_NAMES
+        )
+        and all(
+            getattr(_native, name) == getattr(_wq_mod, name)
+            for name in ("QS_OUT", "QS_READY", "QS_SLEEPING",
+                         "QS_BARRIER", "QS_ACQUIRE")
+        )
+    ):  # pragma: no cover - guards a build/source mismatch
+        import warnings as _warnings
+
+        _warnings.warn(
+            "repro._native was built against different column encodings; "
+            "ignoring it (issue_engine='native' will run pure Python)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        _native = None
+
+#: Issue-engine dispatch: engine name -> StreamingMultiprocessor step
+#: method name.  Keys mirror repro.arch.config.ISSUE_ENGINES (asserted
+#: below); benchmarks and CLIs discover engines from this dict.
+ISSUE_ENGINE_REGISTRY = {
+    "event": "_step_event",
+    "scan": "_step_scan",
+    "columnar": "_step_columnar",
+    "native": "_step_columnar",
+}
+assert tuple(ISSUE_ENGINE_REGISTRY) == ISSUE_ENGINES, (
+    "sm.py engine registry drifted from repro.arch.config.ISSUE_ENGINES"
+)
+
+_NATIVE_FALLBACK_WARNED = False
+
 
 class StreamingMultiprocessor:
     """One SM executing a stream of identical CTAs."""
@@ -140,9 +197,28 @@ class StreamingMultiprocessor:
         # deadlock diagnostics, tests) reads the columns through the
         # identical Scoreboard API.
         self._columnar: ColumnarCore | None = None
-        if config.issue_engine == "columnar":
+        self._use_native = False
+        if config.issue_engine in ("columnar", "native"):
             self._columnar = ColumnarCore(self.schedulers, config)
             self.scoreboard = ColumnarScoreboard(self._columnar)
+            if config.issue_engine == "native":
+                if _native is not None:
+                    self._use_native = True
+                else:
+                    global _NATIVE_FALLBACK_WARNED
+                    if not _NATIVE_FALLBACK_WARNED:
+                        _NATIVE_FALLBACK_WARNED = True
+                        import warnings
+
+                        warnings.warn(
+                            "repro._native extension is not built; "
+                            "issue_engine='native' is falling back to the "
+                            "pure-Python columnar stepper (identical "
+                            "results, lower throughput). Build it with "
+                            "`python setup.py build_ext --inplace`.",
+                            RuntimeWarning,
+                            stacklevel=4,
+                        )
         else:
             self.scoreboard = Scoreboard()
         self.memory = MemoryModel(config, rng.fork(0x3E3))
@@ -646,7 +722,13 @@ class StreamingMultiprocessor:
         last_progress = self._last_progress_cycle
         next_expire = cycle - (cycle % _EXPIRE_PERIOD) + _EXPIRE_PERIOD
         # Stall/issue counters accumulate in locals; flushed to stats at
-        # observation points only.
+        # observation points only.  The flush goes through the stats
+        # instance dict (hoisted once per run): SmStats is a plain
+        # dataclass, so ``sd[k] += d`` lands on exactly the attribute a
+        # hook reads back, minus the attribute-protocol dispatch the
+        # per-cycle tail-hook flush would otherwise pay seven times a
+        # cycle.
+        sd = stats.__dict__
         d_issued = d_idle = d_mem = d_bar = d_sb = d_acq = d_res = 0
         next_ckpt = None
         if checkpoint_interval and checkpoint_sink is not None:
@@ -883,13 +965,13 @@ class StreamingMultiprocessor:
                             if observer is not None:
                                 # CTA retire/launch hooks may read the
                                 # shared counters: flush first.
-                                stats.instructions_issued += d_issued
-                                stats.idle_scheduler_cycles += d_idle
-                                stats.stall_memory += d_mem
-                                stats.stall_barrier += d_bar
-                                stats.stall_scoreboard += d_sb
-                                stats.stall_acquire += d_acq
-                                stats.resident_warp_cycles += d_res
+                                sd["instructions_issued"] += d_issued
+                                sd["idle_scheduler_cycles"] += d_idle
+                                sd["stall_memory"] += d_mem
+                                sd["stall_barrier"] += d_bar
+                                sd["stall_scoreboard"] += d_sb
+                                sd["stall_acquire"] += d_acq
+                                sd["resident_warp_cycles"] += d_res
                                 d_issued = d_idle = d_mem = d_bar = 0
                                 d_sb = d_acq = d_res = 0
                                 self._last_progress_cycle = last_progress
@@ -1030,13 +1112,13 @@ class StreamingMultiprocessor:
                             d_sb += 1
 
             if tail_hooks or single_step:
-                stats.instructions_issued += d_issued
-                stats.idle_scheduler_cycles += d_idle
-                stats.stall_memory += d_mem
-                stats.stall_barrier += d_bar
-                stats.stall_scoreboard += d_sb
-                stats.stall_acquire += d_acq
-                stats.resident_warp_cycles += d_res
+                sd["instructions_issued"] += d_issued
+                sd["idle_scheduler_cycles"] += d_idle
+                sd["stall_memory"] += d_mem
+                sd["stall_barrier"] += d_bar
+                sd["stall_scoreboard"] += d_sb
+                sd["stall_acquire"] += d_acq
+                sd["resident_warp_cycles"] += d_res
                 d_issued = d_idle = d_mem = d_bar = d_sb = d_acq = d_res = 0
                 self._last_progress_cycle = last_progress
                 if debug_inv:
@@ -1077,13 +1159,13 @@ class StreamingMultiprocessor:
                     if heap and (target is None or heap[0][0] < target):
                         target = heap[0][0]
                 if target is None:
-                    stats.instructions_issued += d_issued
-                    stats.idle_scheduler_cycles += d_idle
-                    stats.stall_memory += d_mem
-                    stats.stall_barrier += d_bar
-                    stats.stall_scoreboard += d_sb
-                    stats.stall_acquire += d_acq
-                    stats.resident_warp_cycles += d_res
+                    sd["instructions_issued"] += d_issued
+                    sd["idle_scheduler_cycles"] += d_idle
+                    sd["stall_memory"] += d_mem
+                    sd["stall_barrier"] += d_bar
+                    sd["stall_scoreboard"] += d_sb
+                    sd["stall_acquire"] += d_acq
+                    sd["resident_warp_cycles"] += d_res
                     d_issued = d_idle = d_mem = d_bar = 0
                     d_sb = d_acq = d_res = 0
                     self._last_progress_cycle = last_progress
@@ -1101,25 +1183,25 @@ class StreamingMultiprocessor:
                     d_mem += skip * num_sched
                     d_res += skip * self._resident_warp_count
                     if observer is not None:
-                        stats.instructions_issued += d_issued
-                        stats.idle_scheduler_cycles += d_idle
-                        stats.stall_memory += d_mem
-                        stats.stall_barrier += d_bar
-                        stats.stall_scoreboard += d_sb
-                        stats.stall_acquire += d_acq
-                        stats.resident_warp_cycles += d_res
+                        sd["instructions_issued"] += d_issued
+                        sd["idle_scheduler_cycles"] += d_idle
+                        sd["stall_memory"] += d_mem
+                        sd["stall_barrier"] += d_bar
+                        sd["stall_scoreboard"] += d_sb
+                        sd["stall_acquire"] += d_acq
+                        sd["resident_warp_cycles"] += d_res
                         d_issued = d_idle = d_mem = d_bar = 0
                         d_sb = d_acq = d_res = 0
                         self._last_progress_cycle = last_progress
                         observer.on_fast_forward(self, skip)
             if window and cycle - last_progress > window:
-                stats.instructions_issued += d_issued
-                stats.idle_scheduler_cycles += d_idle
-                stats.stall_memory += d_mem
-                stats.stall_barrier += d_bar
-                stats.stall_scoreboard += d_sb
-                stats.stall_acquire += d_acq
-                stats.resident_warp_cycles += d_res
+                sd["instructions_issued"] += d_issued
+                sd["idle_scheduler_cycles"] += d_idle
+                sd["stall_memory"] += d_mem
+                sd["stall_barrier"] += d_bar
+                sd["stall_scoreboard"] += d_sb
+                sd["stall_acquire"] += d_acq
+                sd["resident_warp_cycles"] += d_res
                 self._last_progress_cycle = last_progress
                 diagnostic = self.diagnostic()
                 if observer is not None:
@@ -1132,13 +1214,13 @@ class StreamingMultiprocessor:
                     diagnostic=diagnostic,
                 )
             if cycle > max_cycles:
-                stats.instructions_issued += d_issued
-                stats.idle_scheduler_cycles += d_idle
-                stats.stall_memory += d_mem
-                stats.stall_barrier += d_bar
-                stats.stall_scoreboard += d_sb
-                stats.stall_acquire += d_acq
-                stats.resident_warp_cycles += d_res
+                sd["instructions_issued"] += d_issued
+                sd["idle_scheduler_cycles"] += d_idle
+                sd["stall_memory"] += d_mem
+                sd["stall_barrier"] += d_bar
+                sd["stall_scoreboard"] += d_sb
+                sd["stall_acquire"] += d_acq
+                sd["resident_warp_cycles"] += d_res
                 self._last_progress_cycle = last_progress
                 raise CycleLimitExceededError(
                     f"SM {self.sm_id} exceeded {max_cycles} cycles — "
@@ -1153,31 +1235,114 @@ class StreamingMultiprocessor:
                 # The snapshot reads SmStats and _last_progress_cycle:
                 # flush the delta locals first.  Timing-neutral — the
                 # totals are identical whenever they are flushed.
-                stats.instructions_issued += d_issued
-                stats.idle_scheduler_cycles += d_idle
-                stats.stall_memory += d_mem
-                stats.stall_barrier += d_bar
-                stats.stall_scoreboard += d_sb
-                stats.stall_acquire += d_acq
-                stats.resident_warp_cycles += d_res
+                sd["instructions_issued"] += d_issued
+                sd["idle_scheduler_cycles"] += d_idle
+                sd["stall_memory"] += d_mem
+                sd["stall_barrier"] += d_bar
+                sd["stall_scoreboard"] += d_sb
+                sd["stall_acquire"] += d_acq
+                sd["resident_warp_cycles"] += d_res
                 d_issued = d_idle = d_mem = d_bar = d_sb = d_acq = d_res = 0
                 self._last_progress_cycle = last_progress
                 checkpoint_sink(self.save_checkpoint())
                 if observer is not None:
                     observer.on_checkpoint(self, cycle)
 
-        stats.instructions_issued += d_issued
-        stats.idle_scheduler_cycles += d_idle
-        stats.stall_memory += d_mem
-        stats.stall_barrier += d_bar
-        stats.stall_scoreboard += d_sb
-        stats.stall_acquire += d_acq
-        stats.resident_warp_cycles += d_res
+        sd["instructions_issued"] += d_issued
+        sd["idle_scheduler_cycles"] += d_idle
+        sd["stall_memory"] += d_mem
+        sd["stall_barrier"] += d_bar
+        sd["stall_scoreboard"] += d_sb
+        sd["stall_acquire"] += d_acq
+        sd["resident_warp_cycles"] += d_res
         self._last_progress_cycle = last_progress
         stats.cycles = cycle
         if observer is not None:
             observer.on_run_end(self)
         return stats
+
+    def _run_native(
+        self,
+        max_cycles: int,
+        checkpoint_interval: int = 0,
+        checkpoint_sink=None,
+    ) -> SmStats:
+        """Batched run loop on the C backend (``repro._native``).
+
+        The extension drives the exact ``_run_columnar`` algorithm over
+        the *same* ColumnarCore state, re-entering Python only at hook
+        observation points, so results, checkpoint payloads, and hook
+        side effects are bit-identical.  Hook-override detection (the
+        class-identity trick) happens here; the error paths return a
+        status code and the typed exceptions are raised from this frame
+        with the exact pure-Python messages.  ``step()`` drivers keep
+        using the pure stepper — only the batched ``run()`` is native.
+        """
+        tech = self.technique
+        tech_cls = type(tech)
+        can_issue = (
+            None if tech_cls.can_issue is SmTechniqueState.can_issue
+            else tech.can_issue
+        )
+        on_issue = (
+            None if tech_cls.on_issue is SmTechniqueState.on_issue
+            else tech.on_issue
+        )
+        wakeups = (
+            tech_cls.wakeup_pending is not SmTechniqueState.wakeup_pending
+        )
+        # The memory model is simulator core, not a hook: when it is the
+        # stock MemoryModel (no subclass, no instance-level monkeypatch,
+        # stock rng), the extension runs its C transliteration; any
+        # customization drops just the memory calls back to Python.
+        mem = self.memory
+        mem_native = (
+            type(mem) is MemoryModel
+            and type(mem._rng) is DeterministicRng
+            and "issue_load" not in mem.__dict__
+            and "retire" not in mem.__dict__
+        )
+        sink = None
+        if checkpoint_interval and checkpoint_sink is not None:
+            sink = checkpoint_sink
+        status, aux = _native.run_columnar(
+            self,
+            max_cycles,
+            checkpoint_interval if sink is not None else 0,
+            sink,
+            can_issue,
+            on_issue,
+            wakeups,
+            mem_native,
+        )
+        if status == 0:
+            return aux
+        if status == 2:
+            # No issuable warp and no pending timer: _fast_forward
+            # re-derives the (empty) target set and raises the
+            # diagnostic-bearing SimulationDeadlockError.
+            self._fast_forward()
+            raise AssertionError("unreachable")
+        if status == 3:
+            window = self.config.watchdog_window
+            diagnostic = self.diagnostic()
+            if self._observer is not None:
+                self._observer.on_watchdog(self, diagnostic.summary())
+            raise SimulationDeadlockError(
+                f"SM {self.sm_id} made no forward progress for "
+                f"{self.cycle - self._last_progress_cycle} cycles "
+                f"(watchdog window {window}) — deadlock/livelock; "
+                f"{diagnostic.summary()}",
+                diagnostic=diagnostic,
+            )
+        if status == 4:
+            raise CycleLimitExceededError(
+                f"SM {self.sm_id} exceeded {max_cycles} cycles — "
+                "runaway kernel (or a livelock below the watchdog's "
+                "sensitivity)",
+                diagnostic=self.diagnostic(),
+            )
+        raise AssertionError(f"unknown native-run status {status!r}")
 
     def _step_scan(self) -> int:
         """Naive reference stepper: scan every resident warp, every cycle.
@@ -1428,6 +1593,12 @@ class StreamingMultiprocessor:
         :class:`CycleLimitExceededError` at the ``max_cycles`` backstop.
         """
         if self._columnar is not None:
+            if self._use_native:
+                return self._run_native(
+                    max_cycles,
+                    checkpoint_interval=checkpoint_interval,
+                    checkpoint_sink=checkpoint_sink,
+                )
             return self._run_columnar(
                 max_cycles,
                 checkpoint_interval=checkpoint_interval,

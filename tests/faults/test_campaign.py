@@ -89,12 +89,17 @@ class TestKillMidRun:
             seed=2018, include_harness=True, workers=2,
             include_kill_mid_run=True,
         )
-        assert len(outcomes) == 15
-        kill = next(o for o in outcomes if o.fault == "kill-mid-run")
-        assert kill.detected, kill.detail
-        assert kill.detector == "checkpoint-resume"
-        assert kill.cycles is not None and kill.cycles > 0  # resume cycle
-        assert "bit-identical" in kill.detail
+        assert len(outcomes) == 16
+        # Two orchestrator variants: the default engine and the native
+        # issue engine (whose checkpoints are stamped and must resume
+        # under the same engine).
+        by_scenario = {o.scenario: o for o in outcomes}
+        for scenario in ("kill-mid-run/resume", "kill-mid-run-native/resume"):
+            kill = by_scenario[scenario]
+            assert kill.detected, kill.detail
+            assert kill.detector == "checkpoint-resume"
+            assert kill.cycles is not None and kill.cycles > 0  # resume cycle
+            assert "bit-identical" in kill.detail
         # The daemon twin: the same SIGKILL absorbed by the service's
         # pool-recycle + retry path instead of the orchestrator's.
         daemon = next(o for o in outcomes if o.layer == "service")

